@@ -1,0 +1,83 @@
+"""Ablation: collective algorithm choice under multi-tenant contention.
+
+The paper's benchmarks force the ring algorithm; ACCL also has phased
+algorithms.  This ablation shows why the choice matters on a shared
+fabric: phased algorithms (halving-doubling) concentrate each phase's
+traffic on fewer node pairs, so under cross-job contention their
+effective bandwidth profile differs from the pipelined ring even when
+the totals match, while the hierarchical variant trades fabric traffic
+shape for explicit NVLink stages.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.collective.algorithms import Algorithm, OpType
+from repro.collective.context import CollectiveContext, RepeatedOp
+from repro.collective.placement import contiguous_ranks
+from repro.netsim.units import GIB
+from repro.workloads.generator import build_cluster
+
+ALGORITHMS = (Algorithm.RING, Algorithm.HALVING_DOUBLING, Algorithm.HIERARCHICAL)
+
+
+def run_algorithm(algorithm: Algorithm, use_c4p: bool, ops: int = 5) -> float:
+    scenario = build_cluster(use_c4p=use_c4p, ecmp_seed=7)
+    context = CollectiveContext(scenario.topology, selector=scenario.selector())
+    comm = context.communicator(contiguous_ranks(range(8), 8))
+    handles = []
+    issued = [0]
+
+    def issue() -> None:
+        issued[0] += 1
+        context.run_op(
+            comm,
+            OpType.ALLREDUCE,
+            1 * GIB,
+            algorithm=algorithm,
+            on_complete=finished,
+        )
+
+    def finished(handle) -> None:
+        handles.append(handle)
+        if issued[0] < ops + 1:
+            issue()
+
+    issue()
+    scenario.network.run()
+    measured = [h.busbw_per_nic_gbps for h in handles[1:]]  # drop warmup
+    return sum(measured) / len(measured)
+
+
+def test_ablation_allreduce_algorithms(benchmark):
+    def run():
+        table = {}
+        for algorithm in ALGORITHMS:
+            table[algorithm] = {
+                use_c4p: run_algorithm(algorithm, use_c4p) for use_c4p in (False, True)
+            }
+        return table
+
+    table = run_once(benchmark, run)
+    rows = [
+        (
+            algorithm.value,
+            f"{table[algorithm][False]:.1f}",
+            f"{table[algorithm][True]:.1f}",
+        )
+        for algorithm in ALGORITHMS
+    ]
+    emit(
+        "Ablation: allreduce algorithm (64 GPUs, busbw Gbps per NIC)",
+        ["algorithm", "ECMP", "with C4P"],
+        rows,
+        benchmark=benchmark,
+    )
+
+    ring, hd, hier = (table[a] for a in ALGORITHMS)
+    # On the planned fabric, ring and halving-doubling are bandwidth-
+    # equivalent (same total traffic, no collisions).
+    assert abs(ring[True] - hd[True]) / ring[True] < 0.05
+    # Hierarchical pays the explicit NVLink stages.
+    assert hier[True] < ring[True]
+    # C4P helps every algorithm.
+    for algorithm in ALGORITHMS:
+        assert table[algorithm][True] > table[algorithm][False]

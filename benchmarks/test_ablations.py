@@ -1,0 +1,30 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+Each ablation disables one mechanism and shows which paper result it is
+load-bearing for; see :mod:`repro.experiments.ablations` for the
+runners (also reachable as ``python -m repro run ablations``).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(benchmark, ablations.run)
+    print()
+    print(ablations.format_result(result))
+    benchmark.extra_info["plane_penalty"] = result.plane_rule_on - result.plane_rule_off
+    benchmark.extra_info["stealing_gain"] = result.stealing_on / result.stealing_off
+
+    # Plane rule: without it, both QPs of a NIC can land on one receive
+    # port (Fig. 9 imbalance).
+    assert result.plane_rule_on > 355.0
+    assert result.plane_rule_off < result.plane_rule_on - 50.0
+    # Work stealing rescues a degraded-port connection.
+    assert result.stealing_on > result.stealing_off * 1.3
+    # DCQCN model produces CNPs, costs throughput and creates spread.
+    assert result.congestion_cnps > 0
+    assert result.congestion_on.mean < result.congestion_off.mean
+    assert result.congestion_on.spread > result.congestion_off.spread
+    # Balanced registry is load-bearing under multi-job contention.
+    assert result.registry_c4p.mean > result.registry_ecmp.mean * 1.5

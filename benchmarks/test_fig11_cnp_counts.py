@@ -1,0 +1,25 @@
+"""Fig. 11: CNP count received at each bonded port (2:1 configuration).
+
+In the congested 2:1 run, DCQCN's ECN marking converts queue buildup
+into Congestion Notification Packets back to the senders; the paper
+measures ~15,000 CNP/s per bonded port, fluctuating between 12,500 and
+17,500.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_fig11_cnp_rate_per_bonded_port(benchmark):
+    result = run_once(benchmark, fig11.run)
+    print()
+    print(fig11.format_result(result))
+    benchmark.extra_info["mean_cnp_per_second"] = result.mean
+
+    low, high = result.band
+    # Shape: every engaged bonded port sees CNPs at the ~10^4/s scale,
+    # in a band around the mean rather than a single spike.
+    assert len(result.values) >= 64  # most bonded ports engaged
+    assert 8_000 < result.mean < 25_000
+    assert low > 0.5 * result.mean
+    assert high < 2.0 * result.mean

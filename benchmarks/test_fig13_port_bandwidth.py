@@ -1,0 +1,33 @@
+"""Fig. 13: per-switch-port bandwidth with/without dynamic load balance.
+
+Reads the leaf switch's uplink byte counters around the induced link
+failure of the Fig. 12 experiment.  Without load balancing the flows
+from the dead uplink are rerouted onto a few surviving ports (traffic
+increment concentrates there while the rest lose bandwidth); with
+dynamic load balancing the surviving ports end up near-evenly loaded.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13
+
+
+def test_fig13_uplink_bandwidth_distribution(benchmark):
+    result = run_once(benchmark, fig13.run)
+    print()
+    print(fig13.format_result(result))
+    benchmark.extra_info["static_imbalance"] = result.static_imbalance
+    benchmark.extra_info["dynamic_imbalance"] = result.dynamic_imbalance
+
+    # The dead link carries nothing.
+    assert result.static_rates[fig13.FAILED_UPLINK] < 1.0
+    assert result.dynamic_rates[fig13.FAILED_UPLINK] < 1.0
+    # Without LB the rerouted flows concentrate (large per-port spread);
+    # with LB the surviving ports are near-even.
+    assert result.static_imbalance > 1.5 * result.dynamic_imbalance
+    live_dynamic = {
+        k: v for k, v in result.dynamic_rates.items() if k != fig13.FAILED_UPLINK
+    }
+    mean_dynamic = sum(live_dynamic.values()) / len(live_dynamic)
+    assert all(
+        abs(v - mean_dynamic) < 0.25 * mean_dynamic for v in live_dynamic.values()
+    )

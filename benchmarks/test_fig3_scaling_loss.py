@@ -1,0 +1,27 @@
+"""Fig. 3: performance loss grows with system scale (16 → 512 GPUs).
+
+GPT-22B weak-scaling sweep.  "Actual" is the ECMP baseline fabric with
+its growing traffic collisions; "ideal" is the same job on a collision-
+free (C4P-planned) fabric.  The paper's shape: near-ideal at 16 GPUs,
+~30% below ideal at 512.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3_actual_vs_ideal_throughput(benchmark):
+    result = run_once(benchmark, fig3.run)
+    print()
+    print(fig3.format_result(result))
+    benchmark.extra_info["ratio_at_512"] = result.ratio_at_largest
+    benchmark.extra_info["ratio_at_16"] = result.ratio_at_smallest
+
+    # Shape: the loss grows with scale and reaches roughly the paper's
+    # 30%-below-ideal at 512 GPUs.
+    assert result.ratio_at_smallest > 0.90
+    assert result.ratio_at_largest < 0.82
+    assert result.ratio_at_largest < result.ratio_at_smallest
+    # Ideal throughput scales ~linearly (weak scaling sanity).
+    ideal_per_gpu = [p.ideal_samples_per_s / p.gpus for p in result.points]
+    assert max(ideal_per_gpu) / min(ideal_per_gpu) < 1.2

@@ -1,0 +1,26 @@
+"""Fig. 9: balancing traffic between the two bonded physical ports.
+
+Single allreduce (nccl-test style) at 16-128 GPUs.  Without C4P, the
+fabric may deliver both of a bonded NIC's flows to the same physical
+port on the receiver, halving effective bandwidth; with C4P the
+plane-preservation rule pins left-port traffic to left leaves end-to-end
+and busbw reaches the NVLink-capped peak (~362 Gbps).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9
+
+
+def test_fig9_bonded_port_balance(benchmark):
+    result = run_once(benchmark, fig9.run)
+    print()
+    print(fig9.format_result(result))
+    benchmark.extra_info["peak_with_c4p"] = result.peak_with_c4p
+    benchmark.extra_info["worst_without"] = result.worst_without
+
+    for point in result.points:
+        # Paper: without C4P "lower than 240 Gbps in most cases"; with
+        # C4P "close to the peak value 360 Gbps" (>= 50% gain).
+        assert point.busbw_without < 240.0
+        assert point.busbw_with > 355.0
+        assert point.gain > 0.4

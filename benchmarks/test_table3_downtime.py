@@ -1,0 +1,50 @@
+"""Table III: error-induced downtime before/after C4D deployment.
+
+Reproduces both halves of the table — the June 2023 regime (manual
+diagnosis, sparse checkpoints, unhardened fleet) and the December 2023
+regime (C4D detection in tens of seconds, automated steering, 10-minute
+checkpoints, 3.33x lower error rate) — for the paper's 2,400-GPU,
+month-long GPT-175B job.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.c4d.classifier import CauseBucket
+from repro.experiments import table3
+from repro.training.lifetime import BASELINE_OPERATIONS, LifetimeConfig, simulate_lifetime
+
+
+def test_table3_downtime_before_after(benchmark):
+    result = run_once(benchmark, table3.run)
+    print()
+    print(table3.format_result(result))
+    benchmark.extra_info["total_before"] = result.total_before
+    benchmark.extra_info["total_after"] = result.total_after
+    benchmark.extra_info["reduction_factor"] = result.reduction_factor
+
+    before = result.before.as_table()
+    # Shape: ~30% before, ~1% after, order-30x reduction, diagnosis the
+    # dominant component.
+    assert 0.20 < result.total_before < 0.45
+    assert result.total_after < 0.03
+    assert 10 < result.reduction_factor < 100
+    components = {k: v for k, v in before.items() if k in table3.COMPONENTS and k != "Total"}
+    assert before["Diagnosis & Isolation"] == max(components.values())
+
+
+def test_table3_diagnosis_bucket_breakdown(benchmark):
+    def run():
+        return simulate_lifetime(
+            LifetimeConfig(seed=7, duration_seconds=90 * 24 * 3600.0),
+            BASELINE_OPERATIONS,
+        )
+
+    breakdown = run_once(benchmark, run)
+    print()
+    print("Diagnosis share by root cause, pre-C4D:")
+    for bucket, seconds in sorted(breakdown.diagnosis_by_bucket.items(), key=lambda kv: -kv[1]):
+        print(f"  {bucket.value:20s} {100 * seconds / breakdown.duration_seconds:.2f}%")
+    # GPU-class buckets (ECC/NVLink + CUDA) are a large share, as in the
+    # paper (12.53% of 19.65% diagnosis time in June).
+    gpu = breakdown.diagnosis_by_bucket.get(CauseBucket.ECC_NVLINK, 0.0)
+    gpu += breakdown.diagnosis_by_bucket.get(CauseBucket.CUDA_ERROR, 0.0)
+    assert gpu / breakdown.diagnosis_seconds > 0.3

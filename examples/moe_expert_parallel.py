@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""MoE training with expert parallelism: why C4D needs load smoothing.
+
+The paper's §V discussion: expert-parallel jobs have *legitimate*
+per-step load imbalance (tokens route to different experts every step),
+which fools naive straggler detection; the fix is "averaging collected
+data over a predefined period to smooth out random variations and
+highlight systemic issues".
+
+This demo trains a Llama-7B-with-experts job (DP=64, EP=16, alltoall
+token exchange, 10% routing imbalance) twice:
+
+1. healthy — the naive per-operation detector raises false alarms, the
+   smoothed detector stays quiet;
+2. with one genuinely slow GPU — both notice something, but only the
+   smoothed detector points at the right node without noise.
+
+Run:  python examples/moe_expert_parallel.py
+"""
+
+from repro.collective.context import CollectiveContext
+from repro.core.c4d import AnomalyType, C4DMaster, DetectorConfig
+from repro.netsim.units import GIB
+from repro.telemetry.agent import AgentPlane
+from repro.telemetry.collector import CentralCollector
+from repro.training.job import JobSpec, TrainingJob
+from repro.training.models import LLAMA_7B
+from repro.training.parallelism import ParallelismPlan
+from repro.workloads.generator import build_cluster
+
+
+def run_job(slow_node=None, steps=8):
+    scenario = build_cluster(ecmp_seed=3)
+    collector = CentralCollector()
+    plane = AgentPlane(collector, clock=lambda: scenario.network.now)
+    spec = JobSpec(
+        "moe",
+        LLAMA_7B,
+        ParallelismPlan(dp=64, ep=16),
+        global_batch=128,
+        ep_alltoall_bits=0.2 * GIB,
+        ep_imbalance_std=0.1,
+    )
+    context = CollectiveContext(scenario.topology, sink=plane, job_id="moe")
+    job = TrainingJob(spec, context, nodes=list(range(8)), seed=5)
+    if slow_node is not None:
+        scenario.topology.node(slow_node).gpus[2].compute_scale = 0.8
+    job.run_steps(steps)
+    scenario.network.run()
+    return scenario, collector, job
+
+
+def detect(collector, now, smooth_window):
+    config = DetectorConfig(wait_min_lateness=0.1, smooth_window_ops=smooth_window)
+    master = C4DMaster(collector, config)
+    return [
+        anomaly
+        for anomaly in master.evaluate(now)
+        if anomaly.anomaly_type is AnomalyType.NONCOMM_SLOW
+    ]
+
+
+def describe(label, anomalies):
+    if not anomalies:
+        print(f"  {label}: quiet")
+        return
+    for anomaly in anomalies:
+        nodes = ", ".join(f"node{n}" for n in anomaly.suspect_nodes)
+        print(f"  {label}: NONCOMM_SLOW on {anomaly.comm_id} -> {nodes}")
+
+
+def main() -> None:
+    print("--- healthy MoE job (random expert imbalance only) ---")
+    scenario, collector, job = run_job(slow_node=None)
+    print(f"  trained {len(job.steps)} steps, "
+          f"mean step {sum(s.step_seconds for s in job.steps) / len(job.steps):.2f}s")
+    describe("naive detector  ", detect(collector, scenario.network.now, 0))
+    describe("smoothed detector", detect(collector, scenario.network.now, 6))
+
+    print("--- same job with one GPU at 80% speed on node4 ---")
+    scenario, collector, job = run_job(slow_node=4)
+    describe("naive detector  ", detect(collector, scenario.network.now, 0))
+    describe("smoothed detector", detect(collector, scenario.network.now, 6))
+
+
+if __name__ == "__main__":
+    main()

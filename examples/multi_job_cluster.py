@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A shared production cluster: training jobs, faults, C4 end to end.
+
+The capstone scenario: the paper's three Fig. 14 training jobs cannot
+run concurrently on one 16-node testbed, so this demo runs Job1
+(GPT-22B, TP8 x DP16) as the tenant of record and exercises the full C4
+deployment around it:
+
+* the job trains with ACCL monitoring on;
+* C4P plans its paths (vs the ECMP baseline, shown first);
+* a GPU on one node silently degrades mid-training — C4D catches the
+  straggler from the BSP launch skew and the steering service swaps the
+  node for a backup;
+* the month-scale downtime model prices out what that automation is
+  worth (Table III's 30x).
+
+Run:  python examples/multi_job_cluster.py
+"""
+
+from repro.collective.context import CollectiveContext
+from repro.core.c4d import C4DMaster, DetectorConfig, JobSteeringService
+from repro.core.c4p import C4PMaster, C4PSelector
+from repro.telemetry.agent import AgentPlane
+from repro.telemetry.collector import CentralCollector
+from repro.training.job import TrainingJob
+from repro.training.lifetime import (
+    BASELINE_OPERATIONS,
+    C4D_OPERATIONS,
+    LifetimeConfig,
+    simulate_lifetime,
+)
+from repro.workloads.generator import FIG14_SPECS, build_cluster
+
+
+def train(use_c4p: bool, steps: int = 3) -> float:
+    scenario = build_cluster(use_c4p=use_c4p, ecmp_seed=12)
+    spec = FIG14_SPECS["job1"]
+    context = CollectiveContext(
+        scenario.topology, selector=scenario.selector(), job_id=spec.name
+    )
+    job = TrainingJob(spec, context, nodes=list(range(16)))
+    job.run_steps(steps)
+    scenario.network.run()
+    return job.throughput_samples_per_second(skip=1)
+
+
+def train_with_fault_and_c4d() -> None:
+    scenario = build_cluster(use_c4p=True, ecmp_seed=12)
+    collector = CentralCollector()
+    plane = AgentPlane(collector, clock=lambda: scenario.network.now)
+    spec = FIG14_SPECS["job1"]
+    context = CollectiveContext(
+        scenario.topology, selector=scenario.selector(), sink=plane, job_id=spec.name
+    )
+    job = TrainingJob(spec, context, nodes=list(range(16)))
+
+    # A GPU on node 9 drops to 40% speed after the first step completes.
+    def degrade() -> None:
+        scenario.topology.node(9).gpus[4].compute_scale = 0.4
+
+    scenario.network.schedule(4.0, degrade)
+    job.run_steps(6)
+    scenario.network.run()
+
+    steering = JobSteeringService(scenario.topology, backup_nodes=[])
+    master = C4DMaster(collector, DetectorConfig(wait_min_lateness=0.2), steering=steering)
+    anomalies = master.evaluate(scenario.network.now)
+    print(f"  trained {len(job.steps)} steps; "
+          f"step time grew from {job.steps[0].step_seconds:.2f}s "
+          f"to {job.steps[-1].step_seconds:.2f}s after the degradation")
+    for anomaly in anomalies:
+        suspects = ", ".join(str(s) for s in anomaly.suspects)
+        print(f"  C4D: {anomaly.anomaly_type.value} -> [{suspects}]")
+    for action in steering.actions:
+        print(f"  steering isolated node(s) {list(action.isolated_nodes)}; "
+              f"restart ready at t={action.ready_at:.0f}s")
+
+
+def downtime_value() -> None:
+    config = LifetimeConfig(seed=7)
+    before = simulate_lifetime(config, BASELINE_OPERATIONS)
+    after = simulate_lifetime(config, C4D_OPERATIONS)
+    f_before = before.total_seconds / before.duration_seconds
+    f_after = after.total_seconds / after.duration_seconds
+    print(f"  month-scale downtime: {100 * f_before:.1f}% without C4D "
+          f"-> {100 * f_after:.2f}% with C4D "
+          f"({f_before / f_after:.0f}x reduction; paper: 31.19% -> 1.16%)")
+
+
+def main() -> None:
+    print("--- GPT-22B training throughput (Fig. 14 Job1) ---")
+    baseline = train(use_c4p=False)
+    optimized = train(use_c4p=True)
+    print(f"  ECMP baseline: {baseline:.1f} samples/s")
+    print(f"  with C4P     : {optimized:.1f} samples/s "
+          f"(+{100 * (optimized / baseline - 1):.1f}%; paper: +15.95%)")
+
+    print("--- mid-training GPU degradation, caught by C4D ---")
+    train_with_fault_and_c4d()
+
+    print("--- what the automation is worth over a month (Table III) ---")
+    downtime_value()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a reproduction of "The C4 Solution" (HPCA 2025).
+
+C4 (Calibrating Collective Communication over Converged Ethernet) is
+Alibaba's production system for (1) real-time hardware-anomaly detection
+in large-scale LLM training — C4D — and (2) cluster-scale traffic
+engineering for collective communication — C4P.
+
+This package rebuilds both subsystems on top of a simulated substrate:
+
+* :mod:`repro.netsim` — flow-level fabric simulator (max-min fair rates,
+  ECMP, DCQCN-style congestion, link failures),
+* :mod:`repro.cluster` — Clos/Fat-Tree cluster model with dual-port NICs
+  and a fault injector,
+* :mod:`repro.collective` — an ACCL-like collective communication
+  library with the paper's three-layer monitoring enhancement,
+* :mod:`repro.telemetry` — the C4 agent / collector plane,
+* :mod:`repro.training` — BSP training-job model (GPT/Llama configs,
+  TP/PP/DP, checkpointing, month-scale lifetime Monte-Carlo),
+* :mod:`repro.core.c4d` and :mod:`repro.core.c4p` — the paper's
+  contribution,
+* :mod:`repro.experiments` — one runner per table/figure (plus
+  ablations), shared by the benchmark harness and the CLI
+  (``python -m repro``),
+* :mod:`repro.analysis` / :mod:`repro.workloads` — reporting/export and
+  scenario builders used by the benchmark harness.
+
+See ``DESIGN.md`` for the full system inventory and the experiment
+index, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Analysis and reporting helpers for experiments and benchmarks."""
+
+from repro.analysis.stats import summarize, Summary
+from repro.analysis.report import format_table, format_percent_table
+from repro.analysis.export import (
+    write_json,
+    write_records_json,
+    write_series_csv,
+    downtime_to_dict,
+)
+
+__all__ = [
+    "summarize",
+    "Summary",
+    "format_table",
+    "format_percent_table",
+    "write_json",
+    "write_records_json",
+    "write_series_csv",
+    "downtime_to_dict",
+]

@@ -1,0 +1,124 @@
+"""Export monitoring records and experiment results to JSON/CSV.
+
+Production C4 feeds dashboards and offline analysis from the master's
+record store; these helpers provide the equivalent serialization layer
+for the simulation, so runs can be archived and compared outside
+Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.collective.monitoring import MessageRecord, OpRecord
+from repro.training.lifetime import DowntimeBreakdown
+
+
+def op_record_to_dict(record: OpRecord) -> dict:
+    """Flatten an operation record into JSON-safe primitives."""
+    return {
+        "comm_id": record.comm_id,
+        "seq": record.seq,
+        "op_type": record.op_type.value,
+        "algorithm": record.algorithm.value,
+        "dtype": record.dtype,
+        "element_count": record.element_count,
+        "rank": record.rank,
+        "node": record.location.node,
+        "gpu": record.location.gpu,
+        "launch_time": record.launch_time,
+        "start_time": record.start_time,
+        "end_time": record.end_time,
+        "wait_time": record.wait_time,
+    }
+
+
+def message_record_to_dict(record: MessageRecord) -> dict:
+    """Flatten a transport record into JSON-safe primitives."""
+    return {
+        "comm_id": record.comm_id,
+        "seq": record.seq,
+        "src_node": record.src_node,
+        "src_nic": record.src_nic,
+        "dst_node": record.dst_node,
+        "dst_nic": record.dst_nic,
+        "src_ip": record.src_ip,
+        "dst_ip": record.dst_ip,
+        "qp_num": record.qp_num,
+        "src_port": record.src_port,
+        "message_index": record.message_index,
+        "size_bits": record.size_bits,
+        "post_time": record.post_time,
+        "complete_time": record.complete_time,
+        "duration": record.duration,
+    }
+
+
+def downtime_to_dict(breakdown: DowntimeBreakdown) -> dict:
+    """Serialize a downtime breakdown including per-bucket diagnosis."""
+    return {
+        "duration_seconds": breakdown.duration_seconds,
+        "crash_count": breakdown.crash_count,
+        "post_checkpoint_seconds": breakdown.post_checkpoint_seconds,
+        "detection_seconds": breakdown.detection_seconds,
+        "diagnosis_seconds": breakdown.diagnosis_seconds,
+        "reinit_seconds": breakdown.reinit_seconds,
+        "total_seconds": breakdown.total_seconds,
+        "total_fraction": breakdown.fraction(breakdown.total_seconds),
+        "diagnosis_by_bucket": {
+            bucket.value: seconds
+            for bucket, seconds in breakdown.diagnosis_by_bucket.items()
+        },
+    }
+
+
+def to_jsonable(value):
+    """Best-effort conversion of result objects to JSON-safe structures."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: to_jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "value") and not isinstance(value, (int, float, str, bool)):
+        return value.value  # enums
+    return value
+
+
+def write_json(path: str | Path, payload) -> Path:
+    """Write any JSON-able payload (dataclasses welcome) to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+    return path
+
+
+def write_records_json(
+    path: str | Path,
+    ops: Iterable[OpRecord] = (),
+    messages: Iterable[MessageRecord] = (),
+) -> Path:
+    """Dump monitoring records to one JSON document."""
+    payload = {
+        "ops": [op_record_to_dict(r) for r in ops],
+        "messages": [message_record_to_dict(r) for r in messages],
+    }
+    return write_json(path, payload)
+
+
+def write_series_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write a simple CSV (e.g. a busbw time series for plotting)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,24 @@
+"""Plain-text tables for benchmark output (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_cells = [str(h).ljust(w) for h, w in zip(headers, widths)]
+    lines.append("  ".join(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent_table(mapping: Mapping[str, float], digits: int = 2) -> str:
+    """Render a name -> fraction mapping as percentages."""
+    rows = [(name, f"{100 * value:.{digits}f}%") for name, value in mapping.items()]
+    return format_table(["component", "share"], rows)

@@ -1,0 +1,47 @@
+"""Small statistics helpers shared by benchmarks and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    stdev: float
+
+    @property
+    def spread(self) -> float:
+        """Max minus min (the paper quotes e.g. an 11.27 Gbps gap)."""
+        return self.maximum - self.minimum
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty series."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.median(arr)),
+        stdev=float(arr.std(ddof=0)),
+    )
+
+
+def improvement_percent(before: float, after: float) -> float:
+    """Relative improvement of ``after`` over ``before``, in percent."""
+    if before <= 0:
+        raise ValueError("before must be positive")
+    return 100.0 * (after - before) / before

@@ -1,0 +1,69 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig9
+    python -m repro run table3 --seed 11
+    python -m repro run all
+
+Each experiment prints the same rows/series the paper reports; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, fig10
+
+
+def _run_one(name: str, seed: int | None) -> None:
+    module, description = EXPERIMENTS[name]
+    print(f"--- {name}: {description} ---")
+    started = time.time()
+    kwargs = {}
+    if seed is not None:
+        # Every runner takes exactly one seed-like parameter.
+        for param in ("seed", "ecmp_seed"):
+            if param in module.run.__code__.co_varnames[: module.run.__code__.co_argcount]:
+                kwargs[param] = seed
+                break
+    if module is fig10:
+        kwargs["oversub_2to1"] = name.endswith("b")
+    result = module.run(**kwargs)
+    print(module.format_result(result))
+    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the C4 paper's tables and figures on the simulator.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment's seed"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (_module, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, args.seed)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, args.seed)
+    return 0

@@ -1,0 +1,39 @@
+"""Cluster model: nodes, dual-port NICs, Clos fabric, faults.
+
+Stands in for the paper's physical deployment: H800 nodes with eight
+BlueField-3 dual-port NICs, a dual-ToR (leaf-pair) Clos/Fat-Tree fabric
+with configurable oversubscription, plus the fault taxonomy of Tables I
+and III and a stochastic fault injector used by the month-scale
+experiments.
+"""
+
+from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES, pod_spec
+from repro.cluster.hardware import Gpu, Nic, NicPort, Node, PortSide, ComponentHealth
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.faults import (
+    FaultType,
+    FaultClass,
+    FaultEvent,
+    FaultRates,
+    FaultInjector,
+    PAPER_CRASH_MIX,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "TESTBED_16_NODES",
+    "pod_spec",
+    "Gpu",
+    "Nic",
+    "NicPort",
+    "Node",
+    "PortSide",
+    "ComponentHealth",
+    "ClusterTopology",
+    "FaultType",
+    "FaultClass",
+    "FaultEvent",
+    "FaultRates",
+    "FaultInjector",
+    "PAPER_CRASH_MIX",
+]

@@ -1,0 +1,231 @@
+"""Fault taxonomy and stochastic fault injection.
+
+The taxonomy mirrors Table I of the paper: from the user's point of view
+almost everything surfaces as an opaque "NCCL Error", while the root
+causes split into CUDA errors, ECC/NVLink errors, CCL timeouts, ACK
+timeouts and miscellaneous network problems, ~82.5% of which are local
+to one node or device (the fact C4D exploits).
+
+Two kinds of faults are modelled:
+
+* **crash faults** — kill the job; consumed by the month-scale lifetime
+  simulations (Tables I and III);
+* **degradations** — slow GPUs / NIC ports / hosts and link failures;
+  consumed by the runtime experiments (Figs. 7, 12, 13) and by C4D's
+  slow-detection tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+
+
+class FaultType(enum.Enum):
+    """Root-cause categories (Table I)."""
+
+    CUDA_ERROR = "cuda_error"
+    ECC_NVLINK_ERROR = "ecc_nvlink_error"
+    CCL_TIMEOUT = "ccl_timeout"
+    ACK_TIMEOUT = "ack_timeout"
+    NETWORK_OTHER = "network_other"
+    # Degradations (non-crash):
+    SLOW_GPU = "slow_gpu"
+    SLOW_NIC_PORT = "slow_nic_port"
+    SLOW_HOST = "slow_host"
+    LINK_FAILURE = "link_failure"
+
+
+class FaultClass(enum.Enum):
+    """Whether the fault crashes the job or just slows it."""
+
+    CRASH = "crash"
+    DEGRADE = "degrade"
+
+
+#: What the user sees for each root cause (Table I, "Users' View").
+USER_VIEW = {
+    FaultType.CUDA_ERROR: "NCCL Error",
+    FaultType.ECC_NVLINK_ERROR: "NCCL Error",
+    FaultType.CCL_TIMEOUT: "NCCL Error",
+    FaultType.ACK_TIMEOUT: "NCCL Error",
+    FaultType.NETWORK_OTHER: "Network Error",
+}
+
+#: Table I crash mix: root cause -> (proportion, fraction local to a
+#: node/device).
+PAPER_CRASH_MIX: dict[FaultType, tuple[float, float]] = {
+    FaultType.CUDA_ERROR: (0.125, 1.00),
+    FaultType.ECC_NVLINK_ERROR: (0.275, 1.00),
+    FaultType.CCL_TIMEOUT: (0.20, 0.75),
+    FaultType.ACK_TIMEOUT: (0.275, 0.818),
+    FaultType.NETWORK_OTHER: (0.125, 0.40),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault.
+
+    ``component`` identifies the faulty element: a node id for local
+    faults, ``None`` for systemic ones.  ``device`` optionally narrows it
+    to a GPU or NIC index within the node.
+    """
+
+    time: float
+    fault_type: FaultType
+    fault_class: FaultClass
+    is_local: bool
+    component: Optional[int] = None
+    device: Optional[int] = None
+
+    @property
+    def user_view(self) -> str:
+        """What the job logs show for this fault."""
+        return USER_VIEW.get(self.fault_type, "NCCL Error")
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Crash-fault intensity.
+
+    The paper's representative job (Table I) logged 40 crashes in one
+    month on 4,096 GPUs, i.e. ~9.8e-3 crashes per GPU-month.  Rates are
+    expressed per GPU-second so they compose with any duration/scale.
+    """
+
+    crashes_per_gpu_second: float = 40.0 / (4096 * 30 * 24 * 3600)
+    mix: dict[FaultType, tuple[float, float]] = field(
+        default_factory=lambda: dict(PAPER_CRASH_MIX)
+    )
+
+    def scaled(self, factor: float) -> "FaultRates":
+        """Rates multiplied by ``factor`` (e.g. hardened hardware)."""
+        return FaultRates(
+            crashes_per_gpu_second=self.crashes_per_gpu_second * factor,
+            mix=dict(self.mix),
+        )
+
+
+class FaultInjector:
+    """Samples fault timelines and applies degradations to a topology."""
+
+    def __init__(self, rates: Optional[FaultRates] = None, seed: int = 0) -> None:
+        self.rates = rates or FaultRates()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Crash-fault sampling (Tables I / III)
+    # ------------------------------------------------------------------
+    def sample_crashes(
+        self,
+        duration_seconds: float,
+        num_gpus: int,
+        num_nodes: int,
+    ) -> list[FaultEvent]:
+        """Poisson-sample crash faults over a window.
+
+        Returns events sorted by time.  Fault types follow the Table I
+        mix; locality follows each type's local fraction; local faults
+        pick a uniform victim node (and device for GPU-class faults).
+        """
+        if duration_seconds <= 0 or num_gpus <= 0:
+            raise ValueError("duration and GPU count must be positive")
+        rate = self.rates.crashes_per_gpu_second * num_gpus
+        count = self._rng.poisson(rate * duration_seconds)
+        times = np.sort(self._rng.uniform(0.0, duration_seconds, size=count))
+        types = list(self.rates.mix.keys())
+        probs = np.array([self.rates.mix[t][0] for t in types])
+        probs = probs / probs.sum()
+        events: list[FaultEvent] = []
+        for time in times:
+            fault_type = types[self._rng.choice(len(types), p=probs)]
+            local_fraction = self.rates.mix[fault_type][1]
+            is_local = bool(self._rng.random() < local_fraction)
+            component = int(self._rng.integers(num_nodes)) if is_local else None
+            device: Optional[int] = None
+            if is_local and fault_type in (FaultType.CUDA_ERROR, FaultType.ECC_NVLINK_ERROR):
+                device = int(self._rng.integers(8))
+            events.append(
+                FaultEvent(
+                    time=float(time),
+                    fault_type=fault_type,
+                    fault_class=FaultClass.CRASH,
+                    is_local=is_local,
+                    component=component,
+                    device=device,
+                )
+            )
+        return events
+
+    # ------------------------------------------------------------------
+    # Degradations (runtime-slowdown experiments)
+    # ------------------------------------------------------------------
+    def degrade_gpu(
+        self, topology: ClusterTopology, node: int, gpu: int, scale: float
+    ) -> FaultEvent:
+        """Make one GPU compute at ``scale`` of nominal speed."""
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        topology.node(node).gpus[gpu].compute_scale = scale
+        return FaultEvent(
+            time=topology.network.now,
+            fault_type=FaultType.SLOW_GPU,
+            fault_class=FaultClass.DEGRADE,
+            is_local=True,
+            component=node,
+            device=gpu,
+        )
+
+    def degrade_nic_port(
+        self, topology: ClusterTopology, node: int, nic: int, side: int, scale: float
+    ) -> FaultEvent:
+        """Reduce one physical NIC port to ``scale`` of line rate."""
+        topology.set_port_scale(node, nic, side, scale)
+        return FaultEvent(
+            time=topology.network.now,
+            fault_type=FaultType.SLOW_NIC_PORT,
+            fault_class=FaultClass.DEGRADE,
+            is_local=True,
+            component=node,
+            device=nic,
+        )
+
+    def degrade_host(self, topology: ClusterTopology, node: int, slowdown: float) -> FaultEvent:
+        """Inflate a node's non-communication time by ``slowdown`` (>1)."""
+        if slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+        topology.node(node).host_slowdown = slowdown
+        return FaultEvent(
+            time=topology.network.now,
+            fault_type=FaultType.SLOW_HOST,
+            fault_class=FaultClass.DEGRADE,
+            is_local=True,
+            component=node,
+        )
+
+    def fail_uplink(
+        self, topology: ClusterTopology, rail: int, side: int, spine: int, port: int
+    ) -> FaultEvent:
+        """Kill one leaf→spine physical link (Fig. 12's induced failure)."""
+        link_id = topology.leaf_up(rail, side, spine, port)
+        topology.network.fail_link(link_id)
+        return FaultEvent(
+            time=topology.network.now,
+            fault_type=FaultType.LINK_FAILURE,
+            fault_class=FaultClass.DEGRADE,
+            is_local=False,
+            component=None,
+        )
+
+    def pick_victims(self, candidates: Sequence[int], count: int) -> list[int]:
+        """Uniformly choose ``count`` distinct victims from ``candidates``."""
+        if count > len(candidates):
+            raise ValueError("not enough candidates")
+        picks = self._rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[i] for i in picks]

@@ -1,0 +1,53 @@
+"""ACCL stand-in: collective communication with three-layer monitoring.
+
+The paper extends the Alibaba Collective Communication Library with
+online monitoring of the communicator, operation and transport layers
+(Fig. 6) and with externally controlled path selection for C4P.  This
+package provides the same capabilities on the simulated fabric:
+
+* :mod:`repro.collective.communicator` — communicators and rank layout,
+* :mod:`repro.collective.algorithms` — ring/pairwise schedules and the
+  per-edge traffic factors of each collective,
+* :mod:`repro.collective.selectors` — the path-selection interface, with
+  the default ECMP selector (the baseline C4P replaces),
+* :mod:`repro.collective.transport` — connections and QPs mapped onto
+  simulator flows,
+* :mod:`repro.collective.monitoring` — the record schemas of the
+  monitoring enhancement,
+* :mod:`repro.collective.context` — the engine tying it together and
+  running collective operations on the event loop.
+"""
+
+from repro.collective.communicator import Communicator, RankLocation
+from repro.collective.algorithms import OpType, Algorithm, traffic_factor
+from repro.collective.monitoring import (
+    CommunicatorRecord,
+    OpLaunchRecord,
+    OpRecord,
+    MessageRecord,
+    MonitoringSink,
+    RecordingSink,
+)
+from repro.collective.selectors import PathSelector, EcmpPathSelector, QpAllocation
+from repro.collective.transport import Connection
+from repro.collective.context import CollectiveContext, OpHandle
+
+__all__ = [
+    "Communicator",
+    "RankLocation",
+    "OpType",
+    "Algorithm",
+    "traffic_factor",
+    "CommunicatorRecord",
+    "OpLaunchRecord",
+    "OpRecord",
+    "MessageRecord",
+    "MonitoringSink",
+    "RecordingSink",
+    "PathSelector",
+    "EcmpPathSelector",
+    "QpAllocation",
+    "Connection",
+    "CollectiveContext",
+    "OpHandle",
+]

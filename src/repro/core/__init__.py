@@ -1,0 +1,7 @@
+"""The paper's contribution: C4D (diagnose) and C4P (performance).
+
+* :mod:`repro.core.c4d` — real-time anomaly detection, fault
+  localization and automated steering (isolate + restart),
+* :mod:`repro.core.c4p` — cluster-scale traffic engineering: path
+  probing, balanced QP/path allocation and dynamic load balancing.
+"""

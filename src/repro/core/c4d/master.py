@@ -1,0 +1,144 @@
+"""The C4D master: periodic evaluation, dedup, steering and RCA hand-off.
+
+Wires the detectors over the central collector (Fig. 5's architecture):
+``evaluate(now)`` runs all detectors, suppresses repeats of anomalies it
+has already acted on, forwards fresh ones to the steering service
+(isolate + restart) and to the offline root-cause analyzer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.c4d.detectors import (
+    CommSlowDetector,
+    DetectorConfig,
+    HangDetector,
+    NonCommSlowDetector,
+)
+from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
+from repro.core.c4d.rca import RootCauseAnalyzer
+from repro.core.c4d.steering import JobSteeringService, SteeringAction
+from repro.telemetry.collector import CentralCollector
+
+
+class C4DMaster:
+    """Central anomaly-detection master for one job.
+
+    Parameters
+    ----------
+    collector:
+        The telemetry store fed by the C4 agents.
+    config:
+        Detector thresholds.
+    steering:
+        Optional steering service; when present, fresh anomalies trigger
+        isolate-and-restart automatically.
+    rca:
+        Optional offline analyzer receiving every fresh anomaly.
+    cooldown:
+        Seconds during which an identical (type, comm, suspects) anomaly
+        is not re-reported — detection is continuous, action is not.
+    """
+
+    def __init__(
+        self,
+        collector: CentralCollector,
+        config: Optional[DetectorConfig] = None,
+        steering: Optional[JobSteeringService] = None,
+        rca: Optional[RootCauseAnalyzer] = None,
+        cooldown: float = 300.0,
+    ) -> None:
+        self.collector = collector
+        self.config = config or DetectorConfig()
+        self.steering = steering
+        self.rca = rca
+        self.cooldown = cooldown
+        self.detectors = [
+            HangDetector(collector, self.config),
+            CommSlowDetector(collector, self.config),
+            NonCommSlowDetector(collector, self.config),
+        ]
+        self.anomalies: list[Anomaly] = []
+        self.actions: list[SteeringAction] = []
+        self._last_reported: dict[tuple, float] = {}
+
+    def evaluate(self, now: float) -> list[Anomaly]:
+        """Run all detectors; act on and return fresh anomalies."""
+        fresh: list[Anomaly] = []
+        for detector in self.detectors:
+            for anomaly in detector.evaluate(now):
+                key = (anomaly.anomaly_type, anomaly.comm_id, anomaly.suspects)
+                last = self._last_reported.get(key)
+                if last is not None and now - last < self.cooldown:
+                    continue
+                self._last_reported[key] = now
+                fresh.append(anomaly)
+        fresh = self._aggregate_by_node(fresh, now)
+        for anomaly in fresh:
+            self.anomalies.append(anomaly)
+            if self.rca is not None:
+                self.rca.submit(anomaly)
+            if self.steering is not None and anomaly.anomaly_type in (
+                AnomalyType.COMM_HANG,
+                AnomalyType.NONCOMM_HANG,
+                AnomalyType.COMM_SLOW,
+                AnomalyType.NONCOMM_SLOW,
+            ):
+                self.actions.append(self.steering.handle(anomaly, now))
+        return fresh
+
+    @staticmethod
+    def _aggregate_by_node(fresh: list[Anomaly], now: float) -> list[Anomaly]:
+        """Fuse same-type anomalies implicating one node across comms.
+
+        A faulty node hosts ranks of many communicators (e.g. one per DP
+        group), so a single hardware problem surfaces as several
+        per-communicator anomalies in the same evaluation.  The master
+        holds the cluster-wide view, so it promotes such clusters to one
+        NODE-scoped anomaly — the unit the steering service acts on.
+        """
+        groups: dict[tuple, list[Anomaly]] = {}
+        passthrough: list[Anomaly] = []
+        for anomaly in fresh:
+            nodes = anomaly.suspect_nodes
+            if len(nodes) == 1:
+                groups.setdefault((anomaly.anomaly_type, nodes[0]), []).append(anomaly)
+            else:
+                passthrough.append(anomaly)
+        result = list(passthrough)
+        for (anomaly_type, node), members in groups.items():
+            if len(members) < 2:
+                result.extend(members)
+                continue
+            result.append(
+                Anomaly(
+                    anomaly_type=anomaly_type,
+                    comm_id="<multiple>",
+                    detected_at=now,
+                    suspects=(Suspect(kind=SuspectKind.NODE, node=node),),
+                    evidence={
+                        "comm_ids": tuple(m.comm_id for m in members),
+                        "member_suspects": tuple(
+                            str(s) for m in members for s in m.suspects
+                        ),
+                    },
+                )
+            )
+        return result
+
+    def attach_to(self, network, interval: float = 10.0, until: Optional[float] = None) -> None:
+        """Schedule periodic evaluation on a simulation event loop.
+
+        ``network`` is a :class:`~repro.netsim.network.FlowNetwork`; the
+        master re-arms itself every ``interval`` simulated seconds until
+        ``until`` (or indefinitely while other events keep the loop
+        alive).
+        """
+
+        def tick() -> None:
+            self.evaluate(network.now)
+            if until is None or network.now + interval <= until:
+                network.schedule(interval, tick)
+
+        network.schedule(interval, tick)

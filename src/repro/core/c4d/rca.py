@@ -1,0 +1,64 @@
+"""Offline root-cause analysis (the background system in Fig. 4).
+
+The master defers in-depth diagnosis: it ships every anomaly (plus any
+ground-truth device hints available after the fact) to this offline
+queue, which accumulates labeled events and produces the cause
+distributions that operations teams — and Table I — consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.faults import FaultEvent
+from repro.core.c4d.classifier import CauseBucket, classify_anomaly, classify_fault
+from repro.core.c4d.events import Anomaly
+
+
+@dataclass(frozen=True)
+class RcaCase:
+    """One queued case: the anomaly and optional ground-truth context."""
+
+    anomaly: Anomaly
+    fault_context: Optional[FaultEvent] = None
+
+    @property
+    def bucket(self) -> CauseBucket:
+        """Resolved cause bucket (ground truth wins when available)."""
+        if self.fault_context is not None:
+            return classify_fault(self.fault_context)
+        return classify_anomaly(self.anomaly)
+
+
+@dataclass
+class RcaReport:
+    """Aggregated cause distribution over analyzed cases."""
+
+    total_cases: int
+    bucket_counts: dict[CauseBucket, int]
+
+    def proportion(self, bucket: CauseBucket) -> float:
+        """Fraction of cases attributed to one bucket."""
+        if self.total_cases == 0:
+            return 0.0
+        return self.bucket_counts.get(bucket, 0) / self.total_cases
+
+
+class RootCauseAnalyzer:
+    """Accumulates cases and reports cause distributions."""
+
+    def __init__(self) -> None:
+        self.cases: list[RcaCase] = []
+
+    def submit(self, anomaly: Anomaly, fault_context: Optional[FaultEvent] = None) -> None:
+        """Queue an anomaly for offline analysis."""
+        self.cases.append(RcaCase(anomaly=anomaly, fault_context=fault_context))
+
+    def report(self) -> RcaReport:
+        """Tabulate the cause distribution of all queued cases."""
+        counts: dict[CauseBucket, int] = {}
+        for case in self.cases:
+            bucket = case.bucket
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return RcaReport(total_cases=len(self.cases), bucket_counts=counts)

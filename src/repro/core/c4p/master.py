@@ -1,0 +1,185 @@
+"""The C4P master: multi-tenant path allocation.
+
+Unlike the single-job C4D master, the C4P master is the control center
+for every job in the cluster (Fig. 8): it probes the fabric at start-up,
+excludes faulty links, and answers path-allocation requests from every
+tenant's ACCL so that
+
+* traffic from a bonded NIC stays in its physical plane (left→left,
+  right→right — "forbidding the paths from left ports to right, and
+  vice versa"),
+* QPs from servers under one leaf spread over all spines, and
+* allocation counts stay balanced across every fabric link, across
+  jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.cluster.topology import ClusterTopology, PathChoice
+from repro.collective.selectors import PathRequest, QpAllocation, ROCE_DST_PORT
+from repro.core.c4p.probing import PathProber
+from repro.core.c4p.registry import PathRegistry
+from repro.netsim.routing import FiveTuple
+
+_qp_counter = itertools.count(500000)
+
+
+class C4PMaster:
+    """Cluster-wide traffic-engineering control plane.
+
+    Parameters
+    ----------
+    topology:
+        The shared cluster.
+    enforce_plane:
+        Apply the left/right plane-preservation rule (ablation knob;
+        disabling it reintroduces the Fig. 9 bonded-port imbalance).
+    search_ports:
+        When True, each allocation runs the authentic source-port search
+        so the returned port would steer an unmodified fabric onto the
+        planned route.  When False a synthetic port is stamped (the
+        resolved path is identical).  The default (None) enables the
+        search only when the fabric's joint hash fan-out is small enough
+        that every route is reachable from the 16k-port ephemeral range;
+        on larger pods a route's exact (uplink, downlink) pair may have
+        no matching port, which is why the production system probes and
+        catalogs ports rather than solving for them on demand.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        enforce_plane: bool = True,
+        search_ports: bool | None = None,
+    ) -> None:
+        self.topology = topology
+        self.registry = PathRegistry(topology)
+        self.prober = PathProber(topology)
+        self.enforce_plane = enforce_plane
+        if search_ports is None:
+            spec = topology.spec
+            up_fanout = spec.spines_per_rail * spec.uplink_ports_per_spine
+            down_fanout = 2 * spec.uplink_ports_per_spine
+            # ~16k ephemeral ports must cover the joint choice space with
+            # good probability; keep an 8x margin.
+            search_ports = up_fanout * down_fanout <= 2048
+        self.search_ports = search_ports
+        #: (request key, qp index) bookkeeping for release.
+        self._allocated: dict[int, tuple[int, PathChoice]] = {}
+        self._synthetic_port = itertools.count(49152)
+        self.refresh_catalog()
+
+    # ------------------------------------------------------------------
+    # Start-up / maintenance probing
+    # ------------------------------------------------------------------
+    def refresh_catalog(self) -> None:
+        """Probe every rail and rebuild the dead-link catalog."""
+        self.registry.dead_links.clear()
+        for rail in range(self.topology.spec.rails):
+            for result in self.prober.full_mesh(rail):
+                if result.healthy:
+                    continue
+                choice = result.choice
+                up = self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port)
+                down = self.topology.spine_down(
+                    rail, choice.spine, choice.dst_side, choice.down_port
+                )
+                if not self.topology.network.link(up).is_up:
+                    self.registry.mark_dead(up)
+                if not self.topology.network.link(down).is_up:
+                    self.registry.mark_dead(down)
+
+    def notify_link_failure(self, link_id: tuple) -> None:
+        """Out-of-band failure notification (faster than a re-probe)."""
+        self.registry.mark_dead(link_id)
+
+    # ------------------------------------------------------------------
+    # Allocation API (called by per-job selectors)
+    # ------------------------------------------------------------------
+    def allocate(self, request: PathRequest) -> list[QpAllocation]:
+        """Allocate balanced, plane-preserving routes for a connection."""
+        rail = self.topology.rail_of(request.src_nic)
+        src_nic_obj = self.topology.node(request.src_node).nics[request.src_nic]
+        dst_nic_obj = self.topology.node(request.dst_node).nics[request.dst_nic]
+        allocations: list[QpAllocation] = []
+        for q in range(request.num_qps):
+            side = q % 2
+            dst_side = side if self.enforce_plane else (q // 2) % 2
+            choice = self.registry.acquire(rail, side, dst_side=dst_side)
+            src_port = self._source_port(src_nic_obj.ip_address, dst_nic_obj.ip_address, rail, choice)
+            five_tuple = FiveTuple(
+                src_ip=src_nic_obj.ip_address,
+                dst_ip=dst_nic_obj.ip_address,
+                src_port=src_port,
+                dst_port=ROCE_DST_PORT,
+            )
+            path = self.topology.resolve_path(
+                request.src_node, request.src_nic, request.dst_node, request.dst_nic, choice
+            )
+            alloc = QpAllocation(
+                qp_num=next(_qp_counter),
+                src_port=src_port,
+                five_tuple=five_tuple,
+                choice=choice,
+                path=path,
+            )
+            self._allocated[alloc.qp_num] = (rail, choice)
+            allocations.append(alloc)
+        return allocations
+
+    def release(self, request: PathRequest, allocations: Sequence[QpAllocation]) -> None:
+        """Return a connection's routes to the pool."""
+        for alloc in allocations:
+            entry = self._allocated.pop(alloc.qp_num, None)
+            if entry is not None:
+                rail, choice = entry
+                self.registry.release(rail, choice)
+
+    def reallocate(self, request: PathRequest, alloc: QpAllocation) -> QpAllocation:
+        """Move one QP onto a fresh healthy route (load-balancer action).
+
+        The QP identity and source plane are preserved; only the fabric
+        route (and hence source port) changes.  The old route's load is
+        released first so the new acquisition sees accurate counts.
+        """
+        rail = self.topology.rail_of(request.src_nic)
+        entry = self._allocated.pop(alloc.qp_num, None)
+        if entry is not None:
+            self.registry.release(*entry)
+        side = alloc.choice.src_side
+        dst_side = side if self.enforce_plane else alloc.choice.dst_side
+        choice = self.registry.acquire(rail, side, dst_side=dst_side)
+        src_nic_obj = self.topology.node(request.src_node).nics[request.src_nic]
+        dst_nic_obj = self.topology.node(request.dst_node).nics[request.dst_nic]
+        src_port = self._source_port(
+            src_nic_obj.ip_address, dst_nic_obj.ip_address, rail, choice
+        )
+        alloc.src_port = src_port
+        alloc.five_tuple = FiveTuple(
+            src_ip=src_nic_obj.ip_address,
+            dst_ip=dst_nic_obj.ip_address,
+            src_port=src_port,
+            dst_port=ROCE_DST_PORT,
+        )
+        alloc.choice = choice
+        alloc.path = self.topology.resolve_path(
+            request.src_node, request.src_nic, request.dst_node, request.dst_nic, choice
+        )
+        self._allocated[alloc.qp_num] = (rail, choice)
+        return alloc
+
+    def _source_port(self, src_ip: str, dst_ip: str, rail: int, choice: PathChoice) -> int:
+        if not self.search_ports:
+            return 49152 + next(self._synthetic_port) % 16384
+        try:
+            return self.prober.find_source_port(src_ip, dst_ip, rail, choice)
+        except LookupError:
+            # Rare on small fabrics: this exact (uplink, downlink) pair
+            # is unreachable from the ephemeral range for this IP pair.
+            # Production would pick the nearest catalogued route; the
+            # simulation keeps the planned route and stamps a synthetic
+            # port.
+            return 49152 + next(self._synthetic_port) % 16384

@@ -1,0 +1,117 @@
+"""Path registry: the C4P master's bookkeeping of fabric resources.
+
+"The C4P master records the numbers of allocated connections on each
+path, and allocates paths for new connections considering the occupied
+network resources" (§III-B).  The registry tracks per-link QP counts on
+the leaf→spine and spine→leaf tiers and hands out the least-loaded
+route, restricted to healthy links and (by default) to the requesting
+port's physical plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cluster.topology import ClusterTopology, PathChoice
+
+
+class PathRegistry:
+    """Allocation counts and least-loaded route selection."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        #: Allocated QP count per fabric link id.
+        self.link_load: dict[tuple, int] = {}
+        #: Links the prober (or failure notifications) declared dead.
+        self.dead_links: set[tuple] = set()
+        self._rr = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Health bookkeeping
+    # ------------------------------------------------------------------
+    def mark_dead(self, link_id: tuple) -> None:
+        """Exclude a link from future allocations."""
+        self.dead_links.add(link_id)
+
+    def mark_alive(self, link_id: tuple) -> None:
+        """Return a link to service."""
+        self.dead_links.discard(link_id)
+
+    def is_usable(self, link_id: tuple) -> bool:
+        """Healthy from the master's point of view (catalog, not ground truth)."""
+        return link_id not in self.dead_links
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def acquire(self, rail: int, src_side: int, dst_side: int | None = None) -> PathChoice:
+        """Reserve the least-loaded healthy route on a rail.
+
+        ``dst_side`` defaults to ``src_side`` — the plane-preserving rule
+        that keeps traffic from a left port on left leaves end-to-end,
+        preventing receive-side bonded-port imbalance (Fig. 9).
+
+        Selection is greedy two-stage: the least-loaded (spine, uplink
+        port), then the least-loaded downlink port of that spine — which
+        keeps both tiers balanced at O(fanout) cost.
+        """
+        if dst_side is None:
+            dst_side = src_side
+        spec = self.topology.spec
+        topo = self.topology
+
+        best_up = None
+        best_up_load = None
+        for spine in topo.enabled_spines(rail):
+            for k in range(spec.uplink_ports_per_spine):
+                link = topo.leaf_up(rail, src_side, spine, k)
+                if not self.is_usable(link):
+                    continue
+                load = self.link_load.get(link, 0)
+                if best_up_load is None or load < best_up_load:
+                    best_up_load = load
+                    best_up = (spine, k)
+        if best_up is None:
+            raise RuntimeError(f"no healthy uplink on rail {rail} side {src_side}")
+        spine, up_port = best_up
+
+        best_down = None
+        best_down_load = None
+        for k in range(spec.uplink_ports_per_spine):
+            link = topo.spine_down(rail, spine, dst_side, k)
+            if not self.is_usable(link):
+                continue
+            load = self.link_load.get(link, 0)
+            if best_down_load is None or load < best_down_load:
+                best_down_load = load
+                best_down = k
+        if best_down is None:
+            raise RuntimeError(
+                f"no healthy downlink from spine {spine} to rail {rail} side {dst_side}"
+            )
+
+        choice = PathChoice(
+            src_side=src_side,
+            spine=spine,
+            up_port=up_port,
+            dst_side=dst_side,
+            down_port=best_down,
+        )
+        self._count(rail, choice, +1)
+        return choice
+
+    def release(self, rail: int, choice: PathChoice) -> None:
+        """Return a previously acquired route's load."""
+        self._count(rail, choice, -1)
+
+    def load_of(self, link_id: tuple) -> int:
+        """Current allocated QP count on one link."""
+        return self.link_load.get(link_id, 0)
+
+    def _count(self, rail: int, choice: PathChoice, delta: int) -> None:
+        up = self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port)
+        down = self.topology.spine_down(rail, choice.spine, choice.dst_side, choice.down_port)
+        for link in (up, down):
+            self.link_load[link] = self.link_load.get(link, 0) + delta
+            if self.link_load[link] < 0:
+                raise AssertionError(f"negative load on {link!r}")

@@ -1,0 +1,63 @@
+"""Per-job C4P client: the PathSelector that asks the master.
+
+Each job's enhanced ACCL "submits path allocation requests to the C4P
+master, which replies with the source ports of RDMA connections"
+(§III-B).  The selector is that client stub.  Its link-failure behaviour
+is the Fig. 12 experiment's knob:
+
+* ``dynamic=False`` — *static traffic engineering*: planned paths at
+  start-up only; when a link dies the fabric's own ECMP reconvergence
+  moves the displaced flows (clumping onto a few surviving ports,
+  Fig. 13a);
+* ``dynamic=True`` — the master is notified, displaced QPs are
+  re-allocated onto the least-loaded healthy routes, and in-flight
+  traffic follows (Fig. 13b's even spread).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.topology import ClusterTopology
+from repro.collective.selectors import EcmpPathSelector, PathRequest, QpAllocation
+from repro.core.c4p.master import C4PMaster
+from repro.netsim.flows import Flow
+from repro.netsim.links import Link
+
+
+class C4PSelector:
+    """PathSelector backed by the shared C4P master."""
+
+    def __init__(
+        self,
+        master: C4PMaster,
+        dynamic: bool = True,
+    ) -> None:
+        self.master = master
+        self.dynamic = dynamic
+        self.topology: ClusterTopology = master.topology
+        # Static mode falls back to fabric ECMP reconvergence on failure.
+        self._ecmp_fallback = EcmpPathSelector(self.topology)
+
+    def allocate(self, request: PathRequest) -> list[QpAllocation]:
+        """Request balanced routes from the master."""
+        return self.master.allocate(request)
+
+    def release(self, request: PathRequest, allocations: Sequence[QpAllocation]) -> None:
+        """Return routes to the master."""
+        self.master.release(request, allocations)
+
+    def on_link_down(self, link: Link, flows: Sequence[Flow]) -> None:
+        """React to a failed link according to the configured mode."""
+        self.master.notify_link_failure(link.link_id)
+        if not self.dynamic:
+            # Static traffic engineering: the fabric reroutes on its own.
+            self._ecmp_fallback.on_link_down(link, flows)
+            return
+        for flow in flows:
+            request: PathRequest | None = flow.metadata.get("request")
+            alloc: QpAllocation | None = flow.metadata.get("qp")
+            if request is None or alloc is None:
+                continue
+            self.master.reallocate(request, alloc)
+            flow.reroute(alloc.path)

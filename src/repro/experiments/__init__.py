@@ -1,0 +1,40 @@
+"""Reusable experiment runners for every table and figure of the paper.
+
+Each module exposes ``run(...) -> <Result dataclass>`` plus a
+``format_result`` helper; the benchmark harness asserts on the result
+objects and the CLI (``python -m repro``) prints them.  Keeping the
+runners in the library (rather than inside test files) lets downstream
+users re-run any experiment with different parameters.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig3,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table3,
+)
+
+#: Registry used by the CLI: name -> (module, description).
+EXPERIMENTS = {
+    "table1": (table1, "crash-cause distribution of a 4096-GPU job (Table I)"),
+    "table3": (table3, "error-induced downtime before/after C4D (Table III)"),
+    "fig3": (fig3, "performance loss vs scale, GPT-22B 16-512 GPUs (Fig. 3)"),
+    "fig7": (fig7, "delay-matrix communication-slow syndrome (Fig. 7)"),
+    "fig9": (fig9, "bonded-port balance, single allreduce (Fig. 9)"),
+    "fig10a": (fig10, "8 concurrent jobs, 1:1 oversubscription (Fig. 10a)"),
+    "fig10b": (fig10, "8 concurrent jobs, 2:1 oversubscription (Fig. 10b)"),
+    "fig11": (fig11, "CNP counts per bonded port (Fig. 11)"),
+    "fig12": (fig12, "link-failure tolerance, static vs dynamic (Fig. 12)"),
+    "fig13": (fig13, "per-uplink bandwidth around the failure (Fig. 13)"),
+    "fig14": (fig14, "real-life training jobs (Fig. 14)"),
+    "ablations": (ablations, "design-choice ablations (DESIGN.md §5)"),
+}
+
+__all__ = ["EXPERIMENTS"] + sorted(name for name, _ in EXPERIMENTS.items())

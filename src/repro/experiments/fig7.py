@@ -1,0 +1,109 @@
+"""Fig. 7: the communication-slow delay-matrix syndrome."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.cluster.faults import FaultInjector
+from repro.collective.algorithms import OpType
+from repro.collective.context import CollectiveContext, RepeatedOp
+from repro.collective.monitoring import RecordingSink
+from repro.collective.placement import contiguous_ranks
+from repro.core.c4d.delay_matrix import (
+    DelayMatrix,
+    MatrixFinding,
+    analyze_delay_matrix,
+    build_delay_matrix,
+)
+from repro.netsim.units import GIB
+from repro.workloads.generator import build_cluster
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The aggregated matrix and the analyzer's verdict."""
+
+    matrix: DelayMatrix
+    finding: MatrixFinding
+    injected_node: int
+    injected_nic: int
+
+    @property
+    def localized(self) -> bool:
+        """True when a suspect matches the injected component."""
+        return any(
+            s.node == self.injected_node and s.device == self.injected_nic
+            for s in self.finding.suspects
+        )
+
+
+def run(
+    victim_node: int = 3,
+    victim_nic: int = 5,
+    port_scale: float = 0.25,
+    num_nodes: int = 8,
+    ops: int = 5,
+    ecmp_seed: int = 11,
+) -> Fig7Result:
+    """Degrade one NIC, run allreduces, build and analyze the matrix."""
+    scenario = build_cluster(ecmp_seed=ecmp_seed)
+    sink = RecordingSink()
+    context = CollectiveContext(scenario.topology, sink=sink)
+    comm = context.communicator(contiguous_ranks(range(num_nodes), 8), comm_id="dp")
+    injector = FaultInjector(seed=0)
+    for side in (0, 1):
+        injector.degrade_nic_port(
+            scenario.topology, node=victim_node, nic=victim_nic, side=side, scale=port_scale
+        )
+    runner = RepeatedOp(context, comm, OpType.ALLREDUCE, 1 * GIB, max_ops=ops)
+    runner.start()
+    scenario.network.run()
+    matrix = build_delay_matrix(sink.messages)
+    return Fig7Result(
+        matrix=matrix,
+        finding=analyze_delay_matrix(matrix),
+        injected_node=victim_node,
+        injected_nic=victim_nic,
+    )
+
+
+def render_heatmap(matrix: DelayMatrix, width: int = 4) -> str:
+    """ASCII rendering of the normalized delay matrix (the paper's grid).
+
+    Rows are source workers, columns destination workers; cells show the
+    pair's delay relative to the cluster median ('.' for unobserved
+    pairs).  Ring communicators populate one off-diagonal band.
+    """
+    workers = sorted(matrix.workers)
+    baseline = matrix.baseline()
+    header = " " * 8 + "".join(f"{w[0]}/{w[1]}".rjust(width + 1) for w in workers)
+    lines = [header]
+    for src in workers:
+        cells = []
+        for dst in workers:
+            score = matrix.scores.get((src, dst))
+            cells.append(
+                ".".rjust(width + 1)
+                if score is None
+                else f"{score / baseline:.1f}".rjust(width + 1)
+            )
+        lines.append(f"{src[0]}/{src[1]}".ljust(8) + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_result(result: Fig7Result) -> str:
+    """Render the flagged pairs and the localization verdict."""
+    baseline = result.matrix.baseline()
+    rows = [
+        (f"{src[0]}/{src[1]} -> {dst[0]}/{dst[1]}", f"{score / baseline:.2f}x")
+        for (src, dst), score in sorted(result.matrix.scores.items())
+        if score / baseline > 1.5
+    ]
+    rows.append(("suspects", ", ".join(str(s) for s in result.finding.suspects)))
+    verdict = "localized" if result.localized else "MISSED"
+    header = (
+        f"Fig. 7 — injected slow NIC node{result.injected_node}/nic{result.injected_nic}: "
+        f"{verdict}\n"
+    )
+    return header + format_table(["worker pair", "normalized delay"], rows)

@@ -1,0 +1,88 @@
+"""Fig. 9: bonded-port balance for a single allreduce."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.workloads.generator import allreduce_benchmark, build_cluster
+
+DEFAULT_SCALES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """One scale's bar pair."""
+
+    num_nodes: int
+    busbw_without: float
+    busbw_with: float
+
+    @property
+    def gpus(self) -> int:
+        """GPU count at this point."""
+        return self.num_nodes * 8
+
+    @property
+    def gain(self) -> float:
+        """Relative improvement of C4P over the baseline."""
+        return self.busbw_with / self.busbw_without - 1.0
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """The full scale sweep."""
+
+    points: tuple[Fig9Point, ...]
+
+    @property
+    def peak_with_c4p(self) -> float:
+        """Best busbw achieved with C4P (the NVLink-capped peak)."""
+        return max(p.busbw_with for p in self.points)
+
+    @property
+    def worst_without(self) -> float:
+        """Worst baseline busbw."""
+        return min(p.busbw_without for p in self.points)
+
+
+def run(
+    scales: tuple[int, ...] = DEFAULT_SCALES,
+    ops: int = 6,
+    warmup: int = 2,
+    ecmp_seed: int = 9,
+) -> Fig9Result:
+    """Measure allreduce busbw with and without C4P at each scale."""
+    points = []
+    for nodes in scales:
+        busbw = {}
+        for use_c4p in (False, True):
+            scenario = build_cluster(use_c4p=use_c4p, ecmp_seed=ecmp_seed)
+            runner = allreduce_benchmark(
+                scenario, list(range(nodes)), max_ops=ops, warmup_ops=warmup
+            )
+            runner.start()
+            scenario.network.run()
+            busbw[use_c4p] = runner.mean_busbw_gbps
+        points.append(
+            Fig9Point(num_nodes=nodes, busbw_without=busbw[False], busbw_with=busbw[True])
+        )
+    return Fig9Result(points=tuple(points))
+
+
+def format_result(result: Fig9Result) -> str:
+    """Render the figure's bars as a table."""
+    rows = [
+        (
+            f"{p.gpus} GPUs",
+            f"{p.busbw_without:.1f}",
+            f"{p.busbw_with:.1f}",
+            f"+{100 * p.gain:.0f}%",
+        )
+        for p in result.points
+    ]
+    header = (
+        "Fig. 9 — allreduce busbw (Gbps) per NIC; paper: <240 without, "
+        "~360 with C4P\n"
+    )
+    return header + format_table(["scale", "without C4P", "with C4P", "gain"], rows)

@@ -1,0 +1,88 @@
+"""Discrete-event primitives: a timer queue with stable ordering.
+
+The network simulator advances time from one event to the next.  Events
+are either *flow completions* (computed from current max-min rates) or
+*timers* scheduled through this queue (link failures, congestion-control
+ticks, application callbacks such as "start the next iteration").
+
+Timers fire in (time, sequence) order so that two timers scheduled for
+the same instant fire in scheduling order, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class TimerHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; supports cancellation."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the timer fires."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the timer fired."""
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent."""
+        self._entry.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of timers with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` to fire at absolute simulated ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule a timer at negative time {time}")
+        entry = _Entry(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, entry)
+        return TimerHandle(entry)
+
+    def next_time(self) -> float | None:
+        """Time of the earliest pending timer, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop_due(self, now: float) -> list[Callable[[], None]]:
+        """Remove and return callbacks of all timers due at or before ``now``.
+
+        Callbacks are returned in firing order; the caller invokes them.
+        """
+        due: list[Callable[[], None]] = []
+        while self._heap and self._heap[0].time <= now:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                due.append(entry.callback)
+        return due
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

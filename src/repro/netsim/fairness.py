@@ -1,0 +1,124 @@
+"""Weighted max-min fair rate allocation (progressive filling).
+
+Given links with capacities and flows with weights and optional rate
+caps, compute the instantaneous rate of every flow.  This is the classic
+water-filling algorithm: repeatedly find the most constrained link
+(smallest capacity per unit of unfrozen weight), freeze every flow
+crossing it at its fair share, remove the consumed capacity, repeat.
+
+Rate caps are handled by giving each capped flow a private virtual link
+of that capacity, which integrates caps into the fixed point instead of
+clipping afterwards (clipping would fail to redistribute the freed
+bandwidth to other flows).
+
+The implementation is vectorized with numpy over a COO incidence list
+(flow, link); each filling iteration is O(links + touched incidences),
+which keeps 512-GPU collective operations (thousands of flows) fast.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.netsim.flows import Flow
+
+
+def max_min_rates(
+    flows: Sequence[Flow],
+    capacities: Mapping[object, float],
+    cap_overrides: Mapping[object, float] | None = None,
+) -> dict[object, float]:
+    """Compute weighted max-min fair rates.
+
+    Parameters
+    ----------
+    flows:
+        Active flows; each contributes ``flow.weight`` demand on every
+        link of ``flow.path``.
+    capacities:
+        Mapping from link id to available capacity in bits/s.  Every
+        link id referenced by a flow path must be present.
+    cap_overrides:
+        Optional mapping from flow id to an effective sender rate cap in
+        bits/s, taking precedence over ``flow.rate_cap``.  Used by the
+        congestion model to throttle senders without mutating flows.
+
+    Returns
+    -------
+    dict
+        Mapping from ``flow.flow_id`` to allocated rate in bits/s.
+    """
+    if not flows:
+        return {}
+    overrides = cap_overrides or {}
+
+    num_flows = len(flows)
+    link_index: dict[object, int] = {}
+    link_caps: list[float] = []
+    coo_flow: list[int] = []
+    coo_link: list[int] = []
+    weights = np.empty(num_flows)
+
+    for f_idx, flow in enumerate(flows):
+        weights[f_idx] = flow.weight
+        for link_id in flow.path:
+            l_idx = link_index.get(link_id)
+            if l_idx is None:
+                l_idx = len(link_caps)
+                link_index[link_id] = l_idx
+                link_caps.append(capacities[link_id])
+            coo_flow.append(f_idx)
+            coo_link.append(l_idx)
+        cap = overrides.get(flow.flow_id, flow.rate_cap)
+        if cap is not None:
+            l_idx = len(link_caps)
+            link_caps.append(float(cap))
+            coo_flow.append(f_idx)
+            coo_link.append(l_idx)
+
+    residual = np.array(link_caps)
+    num_links = len(link_caps)
+    coo_flow_arr = np.asarray(coo_flow, dtype=np.intp)
+    coo_link_arr = np.asarray(coo_link, dtype=np.intp)
+
+    # Per-link member lists: sort incidences by link for cheap slicing.
+    order = np.argsort(coo_link_arr, kind="stable")
+    sorted_links = coo_link_arr[order]
+    sorted_flows = coo_flow_arr[order]
+    starts = np.searchsorted(sorted_links, np.arange(num_links), side="left")
+    ends = np.searchsorted(sorted_links, np.arange(num_links), side="right")
+
+    pending_weight = np.bincount(coo_link_arr, weights=weights[coo_flow_arr], minlength=num_links)
+    rates = np.zeros(num_flows)
+    frozen = np.zeros(num_flows, dtype=bool)
+    remaining = num_flows
+
+    while remaining > 0:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(pending_weight > 1e-15, residual / pending_weight, np.inf)
+        bottleneck = int(np.argmin(share))
+        level = share[bottleneck]
+        if not np.isfinite(level):
+            break
+        members = sorted_flows[starts[bottleneck] : ends[bottleneck]]
+        newly = members[~frozen[members]]
+        if newly.size == 0:
+            pending_weight[bottleneck] = 0.0
+            continue
+        rates[newly] = weights[newly] * level
+        frozen[newly] = True
+        remaining -= int(newly.size)
+        # Subtract the frozen flows' rates and weights from their links.
+        newly_set = np.zeros(num_flows, dtype=bool)
+        newly_set[newly] = True
+        touched_mask = newly_set[coo_flow_arr]
+        touched_links = coo_link_arr[touched_mask]
+        touched_flows = coo_flow_arr[touched_mask]
+        np.subtract.at(residual, touched_links, rates[touched_flows])
+        np.subtract.at(pending_weight, touched_links, weights[touched_flows])
+        np.maximum(residual, 0.0, out=residual)
+        pending_weight[bottleneck] = 0.0
+
+    return {flow.flow_id: float(rates[f_idx]) for f_idx, flow in enumerate(flows)}

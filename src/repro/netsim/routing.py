@@ -1,0 +1,101 @@
+"""Deterministic ECMP hashing.
+
+Switches in the modelled fabric pick among equal-cost next hops by
+hashing the flow's five-tuple.  Production switches use proprietary hash
+functions; what matters for reproduction is that the choice is
+
+* deterministic for a given five-tuple (flows do not flap),
+* effectively uniform across tuples (so collisions follow the
+  birthday-paradox statistics the paper's Fig. 3 exhibits), and
+* sensitive to the UDP source port (so C4P can steer a flow onto a
+  chosen path purely by picking the source port, exactly as the real
+  system does for RoCEv2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """The fields an ECMP hash consumes for a RoCEv2 (UDP) flow."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int = 17  # UDP, as used by RoCEv2
+
+
+class EcmpHasher:
+    """Hash five-tuples onto next-hop indices.
+
+    Parameters
+    ----------
+    seed:
+        Per-fabric salt.  Different seeds model different switch hash
+        configurations; sweeping seeds gives the baseline variance of
+        ECMP experiments.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The fabric-wide hash salt."""
+        return self._seed
+
+    def hash_value(self, five_tuple: FiveTuple, stage: str = "") -> int:
+        """Raw 64-bit hash of a five-tuple.
+
+        ``stage`` decorrelates decisions made at different switch tiers
+        for the same flow (a real fabric hashes with different seeds per
+        switch; without this, the spine and leaf stages would always
+        agree).
+        """
+        payload = (
+            f"{self._seed}|{stage}|{five_tuple.src_ip}|{five_tuple.dst_ip}"
+            f"|{five_tuple.src_port}|{five_tuple.dst_port}|{five_tuple.protocol}"
+        ).encode()
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+
+    def choose(self, five_tuple: FiveTuple, num_choices: int, stage: str = "") -> int:
+        """Pick an index in ``[0, num_choices)`` for this flow at this stage."""
+        if num_choices <= 0:
+            raise ValueError("num_choices must be positive")
+        return self.hash_value(five_tuple, stage) % num_choices
+
+    def find_port_for_choice(
+        self,
+        base: FiveTuple,
+        num_choices: int,
+        wanted: int,
+        stage: str = "",
+        port_range: range = range(49152, 65536),
+    ) -> int:
+        """Search for a UDP source port that hashes to ``wanted``.
+
+        This is the path-probing primitive of C4P: the master probes
+        source ports until it finds one that lands each stage's decision
+        on the desired next hop.  Raises ``LookupError`` if no port in
+        ``port_range`` works (practically impossible for sane fan-outs).
+        """
+        if not 0 <= wanted < num_choices:
+            raise ValueError(f"wanted index {wanted} out of range for {num_choices} choices")
+        for port in port_range:
+            candidate = FiveTuple(
+                src_ip=base.src_ip,
+                dst_ip=base.dst_ip,
+                src_port=port,
+                dst_port=base.dst_port,
+                protocol=base.protocol,
+            )
+            if self.choose(candidate, num_choices, stage) == wanted:
+                return port
+        raise LookupError(
+            f"no source port in {port_range} hashes to choice {wanted}/{num_choices}"
+        )

@@ -1,0 +1,138 @@
+"""Simulation tracing: a timeline of flow and link events.
+
+Attach a :class:`SimTracer` to a :class:`~repro.netsim.network.FlowNetwork`
+to record flow starts/completions/stalls and link failures/restores with
+simulated timestamps.  Traces are the debugging surface for experiment
+authors ("why did job3's op stall at t=0.42?") and export to JSON for
+external timeline viewers.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class TraceEventType(enum.Enum):
+    """Kinds of events the tracer records."""
+
+    FLOW_START = "flow_start"
+    FLOW_COMPLETE = "flow_complete"
+    FLOW_STALLED = "flow_stalled"
+    FLOW_REROUTED = "flow_rerouted"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    event_type: TraceEventType
+    subject: str
+    detail: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+class SimTracer:
+    """Bounded in-memory event timeline.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; the oldest are dropped beyond it.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Hooks called by FlowNetwork
+    # ------------------------------------------------------------------
+    def flow_started(self, flow, now: float) -> None:
+        """A flow entered the network."""
+        self._record(
+            TraceEvent(
+                time=now,
+                event_type=TraceEventType.FLOW_START,
+                subject=str(flow.flow_id),
+                detail={"size": flow.size, "hops": len(flow.path)},
+            )
+        )
+
+    def flow_completed(self, flow, now: float) -> None:
+        """A flow finished transferring."""
+        self._record(
+            TraceEvent(
+                time=now,
+                event_type=TraceEventType.FLOW_COMPLETE,
+                subject=str(flow.flow_id),
+                detail={"duration": flow.duration, "mean_rate": flow.mean_rate},
+            )
+        )
+
+    def flow_stalled(self, flow, now: float, link_id) -> None:
+        """A flow lost its path to a failed link."""
+        self._record(
+            TraceEvent(
+                time=now,
+                event_type=TraceEventType.FLOW_STALLED,
+                subject=str(flow.flow_id),
+                detail={"link": str(link_id)},
+            )
+        )
+
+    def link_changed(self, link_id, now: float, up: bool) -> None:
+        """A link failed or came back."""
+        self._record(
+            TraceEvent(
+                time=now,
+                event_type=TraceEventType.LINK_UP if up else TraceEventType.LINK_DOWN,
+                subject=str(link_id),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries / export
+    # ------------------------------------------------------------------
+    def of_type(self, event_type: TraceEventType) -> list[TraceEvent]:
+        """Events of one kind, in time order."""
+        return [e for e in self.events if e.event_type is event_type]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time < end``."""
+        return [e for e in self.events if start <= e.time < end]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per type."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.event_type.value] = counts.get(event.event_type.value, 0) + 1
+        return counts
+
+    def write_json(self, path: str | Path) -> Path:
+        """Dump the timeline to a JSON file."""
+        path = Path(path)
+        payload = [
+            {
+                "time": event.time,
+                "type": event.event_type.value,
+                "subject": event.subject,
+                **event.detail,
+            }
+            for event in self.events
+        ]
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        if len(self.events) > self.capacity:
+            self.events.pop(0)
+            self.dropped += 1

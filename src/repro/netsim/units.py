@@ -1,0 +1,46 @@
+"""Unit conventions and conversion helpers for the simulator.
+
+Conventions used across :mod:`repro.netsim` and everything built on it:
+
+* time is in **seconds** (float),
+* data sizes are in **bits** (float, to allow fluid fractions),
+* bandwidth/rate is in **bits per second**.
+
+The helpers below exist so call sites can speak in the units the paper
+uses (Gbps for link speeds, MiB/GiB for collective message sizes).
+"""
+
+#: One gigabit per second, in bits/s.
+GBPS = 1e9
+
+#: One megabit per second, in bits/s.
+MBPS = 1e6
+
+#: One kibibyte, in bits.
+KIB = 1024 * 8
+
+#: One mebibyte, in bits.
+MIB = 1024 * KIB
+
+#: One gibibyte, in bits.
+GIB = 1024 * MIB
+
+
+def gbps_to_bits(gbps: float) -> float:
+    """Convert a rate in Gbps to bits/s."""
+    return gbps * GBPS
+
+
+def bits_to_gbps(bits_per_second: float) -> float:
+    """Convert a rate in bits/s to Gbps."""
+    return bits_per_second / GBPS
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a size in bytes to bits."""
+    return num_bytes * 8
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a size in bits to bytes."""
+    return num_bits / 8

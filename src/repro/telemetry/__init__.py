@@ -1,0 +1,12 @@
+"""Telemetry plane: C4 agents and the central collector.
+
+The paper's architecture (Fig. 5) inserts a per-node **C4a (C4 agent)**
+between the enhanced ACCL and the central C4D master: agents gather the
+library's monitoring records from local workers and forward them to the
+master, which holds the cluster-wide view the detectors analyze.
+"""
+
+from repro.telemetry.agent import C4Agent, AgentPlane
+from repro.telemetry.collector import CentralCollector, CommProgress
+
+__all__ = ["C4Agent", "AgentPlane", "CentralCollector", "CommProgress"]

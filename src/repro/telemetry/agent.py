@@ -1,0 +1,166 @@
+"""C4 agents: per-node intermediaries between ACCL and the master.
+
+In production each node runs one C4a process that tails the local
+workers' monitoring buffers and ships them to the central master.  In
+the simulation, records are delivered synchronously; the agent still
+exists as a real object so per-node concerns (batching, node attribution,
+local buffering) have a home, and so the record path matches the paper's
+architecture (ACCL → C4a → master).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collective.monitoring import (
+    CommunicatorRecord,
+    MessageRecord,
+    OpLaunchRecord,
+    OpRecord,
+)
+from repro.telemetry.collector import CentralCollector
+
+
+@dataclass
+class C4Agent:
+    """One node's agent: buffers and forwards records to the collector."""
+
+    node_id: int
+    collector: CentralCollector
+    records_forwarded: int = 0
+    #: Pending (kind, record) pairs when the plane runs in buffered mode.
+    buffer: list = field(default_factory=list)
+
+    def forward_op(self, record: OpRecord) -> None:
+        """Ship an operation-completion record to the master."""
+        self.collector.ingest_op(record)
+        self.records_forwarded += 1
+
+    def forward_launch(self, record: OpLaunchRecord) -> None:
+        """Ship an operation-startup record to the master."""
+        self.collector.ingest_launch(record)
+        self.records_forwarded += 1
+
+    def forward_message(self, record: MessageRecord) -> None:
+        """Ship a transport-layer record to the master."""
+        self.collector.ingest_message(record)
+        self.records_forwarded += 1
+
+    def enqueue(self, kind: str, record) -> None:
+        """Hold a record until the next flush (buffered mode)."""
+        self.buffer.append((kind, record))
+
+    def flush(self) -> int:
+        """Push all buffered records to the master; returns the count."""
+        flushed = len(self.buffer)
+        for kind, record in self.buffer:
+            if kind == "op":
+                self.forward_op(record)
+            elif kind == "launch":
+                self.forward_launch(record)
+            else:
+                self.forward_message(record)
+        self.buffer.clear()
+        return flushed
+
+
+class AgentPlane:
+    """The full agent deployment: a MonitoringSink routing to per-node agents.
+
+    Plug an instance into a :class:`~repro.collective.context.CollectiveContext`
+    as its ``sink``; records are attributed to the node that produced
+    them (op records to the rank's node, message records to the sender)
+    and forwarded to the shared :class:`CentralCollector`.
+
+    By default forwarding is immediate.  Passing ``network`` and
+    ``flush_interval`` switches to buffered mode: agents accumulate
+    records locally and ship them every ``flush_interval`` simulated
+    seconds — the reporting delay a real deployment pays, which adds
+    directly onto C4D's detection latency.
+    """
+
+    def __init__(
+        self,
+        collector: CentralCollector,
+        clock=None,
+        network=None,
+        flush_interval: float | None = None,
+    ) -> None:
+        if flush_interval is not None:
+            if network is None:
+                raise ValueError("buffered mode needs a network for flush timers")
+            if flush_interval <= 0:
+                raise ValueError("flush_interval must be positive")
+        self.collector = collector
+        self.agents: dict[int, C4Agent] = {}
+        self.network = network
+        self.flush_interval = flush_interval
+        self._flush_armed = False
+        #: Optional callable returning simulated time, used to timestamp
+        #: communicator registration.
+        if clock is None and network is not None:
+            clock = lambda: network.now
+        self._clock = clock or (lambda: 0.0)
+
+    @property
+    def buffered(self) -> bool:
+        """True when records wait for the periodic flush."""
+        return self.flush_interval is not None
+
+    def flush_all(self) -> int:
+        """Flush every agent's buffer; returns total records shipped."""
+        return sum(agent.flush() for agent in self.agents.values())
+
+    def _deliver(self, node_id: int, kind: str, record) -> None:
+        agent = self.agent(node_id)
+        if not self.buffered:
+            if kind == "op":
+                agent.forward_op(record)
+            elif kind == "launch":
+                agent.forward_launch(record)
+            else:
+                agent.forward_message(record)
+            return
+        agent.enqueue(kind, record)
+        self._arm_flush()
+
+    def _arm_flush(self) -> None:
+        if self._flush_armed or not self.buffered:
+            return
+        self._flush_armed = True
+        self.network.schedule(self.flush_interval, self._flush_tick)
+
+    def _flush_tick(self) -> None:
+        self._flush_armed = False
+        self.flush_all()
+        # Re-arm only when new records are already waiting; otherwise the
+        # next enqueue re-arms (keeps the event loop free to terminate).
+        if any(agent.buffer for agent in self.agents.values()):
+            self._arm_flush()
+
+    def agent(self, node_id: int) -> C4Agent:
+        """The (lazily created) agent of one node."""
+        agent = self.agents.get(node_id)
+        if agent is None:
+            agent = C4Agent(node_id=node_id, collector=self.collector)
+            self.agents[node_id] = agent
+        return agent
+
+    # ------------------------------------------------------------------
+    # MonitoringSink interface
+    # ------------------------------------------------------------------
+    def on_communicator(self, record: CommunicatorRecord) -> None:
+        """Register the communicator with the master."""
+        self.collector.ingest_communicator(record, now=self._clock())
+
+    def on_op_launch(self, record: OpLaunchRecord) -> None:
+        """Route a startup record through the producing node's agent."""
+        self._deliver(record.location.node, "launch", record)
+
+    def on_op(self, record: OpRecord) -> None:
+        """Route an op record through the producing node's agent."""
+        self._deliver(record.location.node, "op", record)
+
+    def on_message(self, record: MessageRecord) -> None:
+        """Route a message record through the sender node's agent."""
+        self._deliver(record.src_node, "message", record)

@@ -1,0 +1,153 @@
+"""Central collector: the C4D master's cluster-wide record store.
+
+Holds bounded windows of operation- and transport-layer records per
+communicator plus per-rank progress (last completed sequence number).
+The detectors in :mod:`repro.core.c4d` query this store; they never see
+simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.collective.monitoring import (
+    CommunicatorRecord,
+    MessageRecord,
+    OpLaunchRecord,
+    OpRecord,
+)
+
+
+@dataclass
+class CommProgress:
+    """Progress bookkeeping for one communicator."""
+
+    record: CommunicatorRecord
+    #: Last completed op sequence per rank (-1 before the first op).
+    last_seq: dict[int, int] = field(default_factory=dict)
+    #: Last *launched* op sequence per rank (-1 before the first op).
+    last_launch_seq: dict[int, int] = field(default_factory=dict)
+    #: Completion time of the most recent op on any rank.
+    last_completion_time: float = float("-inf")
+    #: Launch time of the most recent op launch on any rank.
+    last_launch_time: float = float("-inf")
+    #: Time the communicator was registered.
+    created_at: float = 0.0
+
+    @property
+    def min_seq(self) -> int:
+        """Slowest rank's completed sequence number."""
+        if not self.last_seq:
+            return -1
+        return min(self.last_seq.values())
+
+    @property
+    def max_seq(self) -> int:
+        """Fastest rank's completed sequence number."""
+        if not self.last_seq:
+            return -1
+        return max(self.last_seq.values())
+
+    @property
+    def max_launch_seq(self) -> int:
+        """Most recent sequence number any rank has launched."""
+        if not self.last_launch_seq:
+            return -1
+        return max(self.last_launch_seq.values())
+
+
+class CentralCollector:
+    """Bounded per-communicator windows of monitoring records.
+
+    Parameters
+    ----------
+    op_window:
+        Operation-layer records retained per communicator.
+    message_window:
+        Transport-layer records retained per communicator.
+    """
+
+    def __init__(self, op_window: int = 4096, message_window: int = 16384) -> None:
+        self.progress: dict[str, CommProgress] = {}
+        self._ops: dict[str, Deque[OpRecord]] = {}
+        self._launches: dict[str, Deque[OpLaunchRecord]] = {}
+        self._messages: dict[str, Deque[MessageRecord]] = {}
+        self._op_window = op_window
+        self._message_window = message_window
+
+    # ------------------------------------------------------------------
+    # Ingestion (called by agents)
+    # ------------------------------------------------------------------
+    def ingest_communicator(self, record: CommunicatorRecord, now: float = 0.0) -> None:
+        """Register a communicator."""
+        self.progress[record.comm_id] = CommProgress(
+            record=record,
+            last_seq={rank: -1 for rank in range(record.size)},
+            last_launch_seq={rank: -1 for rank in range(record.size)},
+            created_at=now,
+        )
+        self._ops[record.comm_id] = deque(maxlen=self._op_window)
+        self._launches[record.comm_id] = deque(maxlen=self._op_window)
+        self._messages[record.comm_id] = deque(maxlen=self._message_window)
+
+    def ingest_launch(self, record: OpLaunchRecord) -> None:
+        """Record a per-rank operation startup."""
+        progress = self._require(record.comm_id)
+        progress.last_launch_seq[record.rank] = max(
+            progress.last_launch_seq.get(record.rank, -1), record.seq
+        )
+        progress.last_launch_time = max(progress.last_launch_time, record.launch_time)
+        self._launches[record.comm_id].append(record)
+
+    def ingest_op(self, record: OpRecord) -> None:
+        """Record a completed per-rank operation."""
+        progress = self._require(record.comm_id)
+        progress.last_seq[record.rank] = max(
+            progress.last_seq.get(record.rank, -1), record.seq
+        )
+        progress.last_completion_time = max(progress.last_completion_time, record.end_time)
+        self._ops[record.comm_id].append(record)
+
+    def ingest_message(self, record: MessageRecord) -> None:
+        """Record a transport-layer message."""
+        self._require(record.comm_id)
+        self._messages[record.comm_id].append(record)
+
+    # ------------------------------------------------------------------
+    # Queries (used by detectors)
+    # ------------------------------------------------------------------
+    def comm_ids(self) -> list[str]:
+        """All registered communicators."""
+        return list(self.progress.keys())
+
+    def ops(self, comm_id: str, since: float = float("-inf")) -> list[OpRecord]:
+        """Operation records completed at or after ``since``."""
+        return [r for r in self._ops.get(comm_id, ()) if r.end_time >= since]
+
+    def messages(self, comm_id: str, since: float = float("-inf")) -> list[MessageRecord]:
+        """Transport records completed at or after ``since``."""
+        return [r for r in self._messages.get(comm_id, ()) if r.complete_time >= since]
+
+    def ops_for_seq(self, comm_id: str, seq: int) -> list[OpRecord]:
+        """Per-rank records of one specific operation."""
+        return [r for r in self._ops.get(comm_id, ()) if r.seq == seq]
+
+    def launches_for_seq(self, comm_id: str, seq: int) -> list[OpLaunchRecord]:
+        """Per-rank startup records of one specific operation."""
+        return [r for r in self._launches.get(comm_id, ()) if r.seq == seq]
+
+    def latest_seqs(self, comm_id: str, count: int) -> list[int]:
+        """The most recent ``count`` completed sequence numbers."""
+        seqs = sorted({r.seq for r in self._ops.get(comm_id, ())})
+        return seqs[-count:]
+
+    def _require(self, comm_id: str) -> CommProgress:
+        progress = self.progress.get(comm_id)
+        if progress is None:
+            raise KeyError(
+                f"records for unregistered communicator {comm_id!r}; "
+                "ingest_communicator must come first"
+            )
+        return progress

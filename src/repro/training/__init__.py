@@ -1,0 +1,51 @@
+"""Distributed-training model: BSP jobs on the simulated cluster.
+
+Provides the workloads of the paper's evaluation: GPT/Llama model
+configurations, TP/PP/DP parallelization plans, a step engine that runs
+compute phases and collective communication on the simulated fabric
+(Fig. 14, Fig. 3), checkpoint policies, and the month-scale job-lifetime
+Monte-Carlo behind the downtime accounting of Tables I and III.
+"""
+
+from repro.training.models import ModelConfig, GPT_22B, GPT_175B, LLAMA_7B, LLAMA_13B
+from repro.training.parallelism import ParallelismPlan
+from repro.training.job import TrainingJob, JobSpec, StepBreakdown
+from repro.training.checkpoint import CheckpointPolicy
+from repro.training.memory_checkpoint import InMemoryCheckpointer, Snapshot
+from repro.training.recovery import RecoveryEvent, RecoveryOrchestrator, RecoveryReport
+from repro.training.scheduler import Allocation, ClusterScheduler, SchedulingError
+from repro.training.lifetime import (
+    LifetimeConfig,
+    DowntimeBreakdown,
+    OperationsModel,
+    BASELINE_OPERATIONS,
+    C4D_OPERATIONS,
+    simulate_lifetime,
+)
+
+__all__ = [
+    "ModelConfig",
+    "GPT_22B",
+    "GPT_175B",
+    "LLAMA_7B",
+    "LLAMA_13B",
+    "ParallelismPlan",
+    "TrainingJob",
+    "JobSpec",
+    "StepBreakdown",
+    "CheckpointPolicy",
+    "InMemoryCheckpointer",
+    "Snapshot",
+    "Allocation",
+    "ClusterScheduler",
+    "SchedulingError",
+    "RecoveryEvent",
+    "RecoveryOrchestrator",
+    "RecoveryReport",
+    "LifetimeConfig",
+    "DowntimeBreakdown",
+    "OperationsModel",
+    "BASELINE_OPERATIONS",
+    "C4D_OPERATIONS",
+    "simulate_lifetime",
+]

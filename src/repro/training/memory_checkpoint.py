@@ -1,0 +1,107 @@
+"""In-memory checkpoint engine (the Gemini-style substrate of §II-C).
+
+The paper attributes the collapse of post-checkpoint cost to
+high-frequency checkpointing "similar to the prior work [Gemini],
+capable of saving checkpoints approximately every 10 iterations".  This
+module provides the engine: bounded in-memory snapshots taken every N
+steps with a small save cost, plus restore bookkeeping that the
+lifetime model and training jobs consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One saved model state."""
+
+    step: int
+    time: float
+    size_bits: float
+
+
+class InMemoryCheckpointer:
+    """Periodic snapshots into a bounded host-memory ring.
+
+    Parameters
+    ----------
+    interval_steps:
+        Steps between snapshots (the paper's "approximately every 10
+        iterations").
+    save_seconds:
+        Training-time cost of one save (near zero for async host-memory
+        copies; non-zero values model synchronous saves).
+    capacity:
+        Snapshots retained; older ones are evicted (host memory is
+        finite — Gemini keeps a small ring plus a remote replica).
+    state_bits:
+        Size of one snapshot, recorded for capacity accounting.
+    """
+
+    def __init__(
+        self,
+        interval_steps: int = 10,
+        save_seconds: float = 0.5,
+        capacity: int = 2,
+        state_bits: float = 0.0,
+    ) -> None:
+        if interval_steps < 1:
+            raise ValueError("interval_steps must be >= 1")
+        if save_seconds < 0:
+            raise ValueError("save_seconds must be non-negative")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.interval_steps = interval_steps
+        self.save_seconds = save_seconds
+        self.capacity = capacity
+        self.state_bits = state_bits
+        self.snapshots: list[Snapshot] = []
+        self.saves = 0
+        self.restores = 0
+
+    def maybe_save(self, step: int, now: float) -> float:
+        """Save if ``step`` is on the cadence; returns the time cost."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        if (step + 1) % self.interval_steps != 0:
+            return 0.0
+        self.snapshots.append(Snapshot(step=step, time=now, size_bits=self.state_bits))
+        if len(self.snapshots) > self.capacity:
+            self.snapshots.pop(0)
+        self.saves += 1
+        return self.save_seconds
+
+    def latest(self, before_time: Optional[float] = None) -> Optional[Snapshot]:
+        """Most recent snapshot, optionally taken strictly before a time.
+
+        A crash at time T can only restore from snapshots completed
+        before T (an in-flight save is lost with the process).
+        """
+        candidates = (
+            self.snapshots
+            if before_time is None
+            else [s for s in self.snapshots if s.time < before_time]
+        )
+        return candidates[-1] if candidates else None
+
+    def restore(self, crash_time: float) -> Optional[Snapshot]:
+        """Pick the restore point for a crash and count the event."""
+        snapshot = self.latest(before_time=crash_time)
+        if snapshot is not None:
+            self.restores += 1
+        return snapshot
+
+    def lost_steps(self, crash_step: int, crash_time: float) -> int:
+        """Steps of work lost by a crash (step granularity)."""
+        snapshot = self.latest(before_time=crash_time)
+        if snapshot is None:
+            return crash_step
+        return max(0, crash_step - snapshot.step - 1)
+
+    @property
+    def memory_bits(self) -> float:
+        """Host memory currently held by snapshots."""
+        return sum(s.size_bits for s in self.snapshots)

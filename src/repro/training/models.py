@@ -1,0 +1,73 @@
+"""Model configurations and the analytic compute-time model.
+
+The paper's evaluation workloads (Table II): GPT with 22B and 175B
+parameters and Llama with 7B and 13B.  The compute model is the standard
+6 x params x tokens FLOPs-per-sample estimate for decoder-only
+transformers (forward + backward), divided by an effective per-GPU
+throughput that folds in MFU; the simulation only needs *relative*
+compute-vs-communication magnitudes, but the defaults are calibrated so
+Fig. 14's absolute samples/s land near the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A trainable model's size and token geometry.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    params:
+        Total parameter count.
+    seq_len:
+        Tokens per training sample.
+    grad_bytes_per_param:
+        Gradient precision in bytes (bf16 = 2).
+    """
+
+    name: str
+    params: float
+    seq_len: int
+    grad_bytes_per_param: float = 2.0
+
+    @property
+    def flops_per_sample(self) -> float:
+        """Training FLOPs for one sample (6 x params x tokens)."""
+        return 6.0 * self.params * self.seq_len
+
+    def grad_bits(self, shard_fraction: float = 1.0) -> float:
+        """Gradient payload in bits for ``shard_fraction`` of the model."""
+        if not 0 < shard_fraction <= 1:
+            raise ValueError("shard_fraction must be in (0, 1]")
+        return self.params * shard_fraction * self.grad_bytes_per_param * 8.0
+
+
+#: The paper's benchmark models (Table II).
+GPT_22B = ModelConfig(name="GPT-22B", params=22e9, seq_len=2048)
+GPT_175B = ModelConfig(name="GPT-175B", params=175e9, seq_len=2048)
+LLAMA_7B = ModelConfig(name="Llama-7B", params=7e9, seq_len=2048)
+LLAMA_13B = ModelConfig(name="Llama-13B", params=13e9, seq_len=2048)
+
+
+#: Effective per-GPU training throughput in FLOP/s (peak x MFU); H800
+#: class hardware at the MFU large dense models typically reach.
+DEFAULT_EFFECTIVE_FLOPS = 1.9e14
+
+
+def compute_seconds(
+    model: ModelConfig,
+    samples: float,
+    num_gpus: int,
+    effective_flops: float = DEFAULT_EFFECTIVE_FLOPS,
+) -> float:
+    """Pure-compute time for ``samples`` spread over ``num_gpus``."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    return model.flops_per_sample * samples / (num_gpus * effective_flops)

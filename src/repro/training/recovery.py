@@ -1,0 +1,295 @@
+"""The full Fig. 4 recovery loop, closed on the simulator.
+
+"C4 agents monitor the operational status of training workers and
+transmit the data to a centralized master.  The master then evaluates
+the well-being of the training workers ... If any irregularities are
+detected, it informs the job steering service to isolate the problematic
+nodes and restart the job from the most recent valid checkpoint."
+
+:class:`RecoveryOrchestrator` wires every piece together on the event
+loop: a monitored :class:`~repro.training.job.TrainingJob`, the periodic
+C4D master, the scheduler's backup pool, and the in-memory checkpointer.
+When a worker crashes mid-run the job's next collective hangs; C4D
+localizes the missing rank; the orchestrator isolates the node, swaps in
+a backup, pays the isolation+restart latency, restores from the last
+snapshot, and resumes — and the resulting timeline decomposes into
+exactly Table III's downtime components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.collective.context import CollectiveContext
+from repro.core.c4d.detectors import DetectorConfig
+from repro.core.c4d.events import Anomaly, AnomalyType
+from repro.core.c4d.master import C4DMaster
+from repro.core.c4d.steering import SteeringConfig
+from repro.telemetry.agent import AgentPlane
+from repro.telemetry.collector import CentralCollector
+from repro.training.job import JobSpec, TrainingJob
+from repro.training.memory_checkpoint import InMemoryCheckpointer
+from repro.training.parallelism import ParallelismPlan
+from repro.training.scheduler import ClusterScheduler
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery episode's timeline."""
+
+    crash_time: float
+    detected_at: float
+    isolated_nodes: tuple[int, ...]
+    replacement_nodes: tuple[int, ...]
+    resumed_at: float
+    restored_step: int
+    lost_steps: int
+
+    @property
+    def detection_seconds(self) -> float:
+        """Crash-to-detection latency (the paper's tens of seconds)."""
+        return self.detected_at - self.crash_time
+
+    @property
+    def downtime_seconds(self) -> float:
+        """Crash-to-resume wall time."""
+        return self.resumed_at - self.crash_time
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a monitored run."""
+
+    completed_steps: int
+    target_steps: int
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """True when every step eventually completed."""
+        return self.completed_steps >= self.target_steps
+
+
+class RecoveryOrchestrator:
+    """Run a training job to completion through crashes.
+
+    Parameters
+    ----------
+    scenario_topology:
+        The cluster topology (its network drives the clock).
+    scheduler:
+        Node allocator with a backup pool.
+    spec:
+        The training job.
+    detector_config / steering_config:
+        C4D thresholds and recovery latencies.
+    checkpointer:
+        Snapshot engine; the job resumes from its latest snapshot.
+    evaluation_interval:
+        How often the C4D master evaluates, in simulated seconds.
+    selector_factory:
+        Optional callable returning a fresh PathSelector for each
+        (re)incarnation of the job (pass a C4P selector factory to run
+        the full C4 deployment).
+    """
+
+    def __init__(
+        self,
+        topology,
+        scheduler: ClusterScheduler,
+        spec: JobSpec,
+        detector_config: Optional[DetectorConfig] = None,
+        steering_config: Optional[SteeringConfig] = None,
+        checkpointer: Optional[InMemoryCheckpointer] = None,
+        evaluation_interval: float = 5.0,
+        selector_factory=None,
+        job_name: str = "job",
+    ) -> None:
+        self.topology = topology
+        self.network = topology.network
+        self.scheduler = scheduler
+        self.spec = spec
+        self.detector_config = detector_config or DetectorConfig(hang_timeout=30.0)
+        self.steering_config = steering_config or SteeringConfig()
+        self.checkpointer = checkpointer or InMemoryCheckpointer(interval_steps=10)
+        self.evaluation_interval = evaluation_interval
+        self.selector_factory = selector_factory or (lambda: None)
+        self.job_name = job_name
+
+        self.collector = CentralCollector()
+        self.agent_plane = AgentPlane(self.collector, clock=lambda: self.network.now)
+        self.master = C4DMaster(self.collector, self.detector_config)
+        self.report: Optional[RecoveryReport] = None
+        self.job: Optional[TrainingJob] = None
+        self._target_steps = 0
+        self._incarnation = 0
+        self._comm_prefix = job_name
+        self._crash_time: Optional[float] = None
+        self._watching = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def start(self, num_nodes: int, total_steps: int) -> RecoveryReport:
+        """Allocate, launch and arm monitoring.  Returns the live report.
+
+        The caller drives ``topology.network.run(until=...)``; the report
+        fills in as the simulation progresses.
+        """
+        if self.report is not None:
+            raise RuntimeError("orchestrator already started")
+        self._target_steps = total_steps
+        self.report = RecoveryReport(completed_steps=0, target_steps=total_steps)
+        allocation = self.scheduler.allocate(self.job_name, num_nodes)
+        self._launch(list(allocation.nodes), total_steps, restored_step=0)
+        self._arm_watchdog()
+        return self.report
+
+    def crash_node(self, node_id: int) -> None:
+        """Inject a worker crash into the current incarnation."""
+        if self.job is None:
+            raise RuntimeError("no job running")
+        self._crash_time = self.network.now
+        self.job.crash_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _launch(self, nodes: list[int], remaining_steps: int, restored_step: int) -> None:
+        self._incarnation += 1
+        self._comm_prefix = f"{self.job_name}#{self._incarnation}"
+        context = CollectiveContext(
+            self.topology,
+            selector=self.selector_factory(),
+            sink=self.agent_plane,
+            job_id=self._comm_prefix,
+        )
+        plan, global_batch = self._fit_plan(len(nodes))
+        spec = JobSpec(
+            name=self._comm_prefix,
+            model=self.spec.model,
+            plan=plan,
+            global_batch=global_batch,
+            effective_flops=self.spec.effective_flops,
+            pp_activation_bits=self.spec.pp_activation_bits,
+            ep_alltoall_bits=self.spec.ep_alltoall_bits,
+            ep_imbalance_std=self.spec.ep_imbalance_std,
+        )
+        self.job = TrainingJob(
+            spec,
+            context,
+            nodes=nodes,
+            checkpointer=self.checkpointer,
+            start_step=restored_step,
+        )
+        self.job.run_steps(remaining_steps, on_all_done=self._job_finished)
+
+    def _fit_plan(self, num_nodes: int) -> tuple[ParallelismPlan, float]:
+        """Elastically shrink data parallelism when nodes are scarce.
+
+        With the backup pool exhausted, the job restarts on its
+        remaining healthy nodes: DP shrinks to what fits (TP/PP are
+        structural and cannot change without resharding) and the global
+        batch scales with it, preserving per-replica batch size.
+        """
+        plan = self.spec.plan
+        capacity = num_nodes * self.topology.spec.gpus_per_node
+        if plan.world_size <= capacity:
+            return plan, self.spec.global_batch
+        per_replica = plan.tp * plan.pp
+        new_dp = max(1, capacity // per_replica)
+        new_world = per_replica * new_dp
+        new_ep = plan.ep if plan.ep > 1 and new_world % plan.ep == 0 else 1
+        shrunk = ParallelismPlan(
+            tp=plan.tp,
+            pp=plan.pp,
+            dp=new_dp,
+            grad_accumulation=plan.grad_accumulation,
+            zero=plan.zero,
+            ep=new_ep,
+        )
+        return shrunk, self.spec.global_batch * new_dp / plan.dp
+
+    def _job_finished(self) -> None:
+        assert self.report is not None
+        self.report.completed_steps = self._target_steps
+        self._watching = False
+
+    def _arm_watchdog(self) -> None:
+        self._watching = True
+        self.network.schedule(self.evaluation_interval, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        if not self._watching:
+            return
+        assert self.report is not None and self.job is not None
+        if self.job.steps:
+            self.report.completed_steps = max(
+                self.report.completed_steps,
+                max(step.step_index for step in self.job.steps) + 1,
+            )
+        for anomaly in self.master.evaluate(self.network.now):
+            if anomaly.anomaly_type not in (
+                AnomalyType.NONCOMM_HANG,
+                AnomalyType.COMM_HANG,
+            ):
+                continue
+            # Only act on the *current* incarnation's communicators; the
+            # abandoned previous incarnation stays hung forever and must
+            # not retrigger recovery after the cooldown expires.
+            if not self._concerns_current_incarnation(anomaly):
+                continue
+            self._recover(anomaly)
+            break
+        if self._watching:
+            self.network.schedule(self.evaluation_interval, self._watchdog_tick)
+
+    def _concerns_current_incarnation(self, anomaly: Anomaly) -> bool:
+        if anomaly.comm_id.startswith(self._comm_prefix):
+            return True
+        comm_ids = anomaly.evidence.get("comm_ids", ())
+        return any(str(comm_id).startswith(self._comm_prefix) for comm_id in comm_ids)
+
+    def _recover(self, anomaly: Anomaly) -> None:
+        assert self.job is not None and self.report is not None
+        detected_at = self.network.now
+        crash_time = self._crash_time if self._crash_time is not None else detected_at
+        # Isolate and replace through the scheduler's backup pool.
+        isolated = []
+        replacements = []
+        allocation = self.scheduler.allocation_of(self.job_name)
+        allocated_nodes = allocation.nodes if allocation is not None else ()
+        for node_id in anomaly.suspect_nodes:
+            if node_id not in allocated_nodes:
+                continue
+            self.topology.node(node_id).isolate()
+            isolated.append(node_id)
+            replacement = self.scheduler.replace_node(self.job_name, node_id)
+            if replacement is not None:
+                replacements.append(replacement)
+        # Restore point: the last snapshot completed before the crash.
+        snapshot = self.checkpointer.restore(crash_time)
+        restored_step = snapshot.step + 1 if snapshot is not None else 0
+        lost = max(0, self.job.current_step - restored_step)
+        delay = self.steering_config.isolation_seconds + self.steering_config.restart_seconds
+        resumed_at = detected_at + delay
+        self.report.events.append(
+            RecoveryEvent(
+                crash_time=crash_time,
+                detected_at=detected_at,
+                isolated_nodes=tuple(isolated),
+                replacement_nodes=tuple(replacements),
+                resumed_at=resumed_at,
+                restored_step=restored_step,
+                lost_steps=lost,
+            )
+        )
+        self._crash_time = None
+        nodes = list(self.scheduler.allocation_of(self.job_name).nodes)
+        remaining = self._target_steps - restored_step
+
+        def relaunch() -> None:
+            self._launch(nodes, remaining, restored_step=restored_step)
+
+        self.network.schedule(delay, relaunch)

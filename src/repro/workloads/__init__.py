@@ -1,0 +1,23 @@
+"""Workload generators: the paper's job mixes as reusable builders."""
+
+from repro.workloads.generator import (
+    Scenario,
+    allreduce_benchmark,
+    build_cluster,
+    concurrent_allreduce_jobs,
+    fig12_spec,
+    fig14_jobs,
+    scaling_sweep_job,
+    FIG14_SPECS,
+)
+
+__all__ = [
+    "Scenario",
+    "allreduce_benchmark",
+    "build_cluster",
+    "concurrent_allreduce_jobs",
+    "fig12_spec",
+    "fig14_jobs",
+    "scaling_sweep_job",
+    "FIG14_SPECS",
+]

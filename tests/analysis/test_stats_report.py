@@ -1,0 +1,44 @@
+"""Tests for analysis helpers."""
+
+import pytest
+
+from repro.analysis.report import format_percent_table, format_table
+from repro.analysis.stats import improvement_percent, summarize
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.p50 == pytest.approx(2.5)
+    assert summary.spread == pytest.approx(3.0)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_improvement_percent():
+    assert improvement_percent(100.0, 115.0) == pytest.approx(15.0)
+    assert improvement_percent(200.0, 100.0) == pytest.approx(-50.0)
+
+
+def test_improvement_validates():
+    with pytest.raises(ValueError):
+        improvement_percent(0.0, 1.0)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "yyyy" in lines[3]
+
+
+def test_format_percent_table():
+    out = format_percent_table({"Total": 0.3119})
+    assert "31.19%" in out

@@ -1,0 +1,144 @@
+"""Tests for the fault taxonomy and injector."""
+
+import pytest
+
+from repro.cluster.faults import (
+    FaultClass,
+    FaultInjector,
+    FaultRates,
+    FaultType,
+    PAPER_CRASH_MIX,
+    USER_VIEW,
+)
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology
+from repro.netsim.network import FlowNetwork
+from repro.netsim.units import GBPS
+
+MONTH = 30 * 24 * 3600.0
+
+
+def test_paper_mix_proportions_sum_to_one():
+    assert sum(p for p, _local in PAPER_CRASH_MIX.values()) == pytest.approx(1.0)
+
+
+def test_user_view_mostly_nccl_errors():
+    # Table I: everything except "others" surfaces as NCCL Error.
+    nccl = [t for t, v in USER_VIEW.items() if v == "NCCL Error"]
+    assert len(nccl) == 4
+
+
+def test_crash_rate_matches_table1():
+    # ~40 crashes/month at 4096 GPUs.
+    injector = FaultInjector(seed=0)
+    events = injector.sample_crashes(MONTH, 4096, 512)
+    assert 25 <= len(events) <= 55
+
+
+def test_crash_rate_scales_with_gpus():
+    injector = FaultInjector(seed=0)
+    small = injector.sample_crashes(MONTH, 512, 64)
+    injector2 = FaultInjector(seed=0)
+    large = injector2.sample_crashes(MONTH, 8192, 1024)
+    assert len(large) > len(small)
+
+
+def test_events_sorted_by_time():
+    events = FaultInjector(seed=1).sample_crashes(MONTH, 4096, 512)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_locality_fraction_near_paper():
+    # Table I: ~82.5% of faults are local.
+    events = FaultInjector(seed=2).sample_crashes(MONTH * 20, 4096, 512)
+    local = sum(1 for e in events if e.is_local)
+    assert 0.75 < local / len(events) < 0.90
+
+
+def test_local_faults_have_component():
+    events = FaultInjector(seed=3).sample_crashes(MONTH * 5, 4096, 512)
+    for event in events:
+        if event.is_local:
+            assert event.component is not None and 0 <= event.component < 512
+        else:
+            assert event.component is None
+
+
+def test_gpu_faults_carry_device():
+    events = FaultInjector(seed=4).sample_crashes(MONTH * 5, 4096, 512)
+    for event in events:
+        if event.is_local and event.fault_type in (
+            FaultType.CUDA_ERROR,
+            FaultType.ECC_NVLINK_ERROR,
+        ):
+            assert event.device is not None and 0 <= event.device < 8
+
+
+def test_all_crash_events_are_crash_class():
+    events = FaultInjector(seed=5).sample_crashes(MONTH, 4096, 512)
+    assert all(e.fault_class is FaultClass.CRASH for e in events)
+
+
+def test_scaled_rates():
+    rates = FaultRates().scaled(0.3)
+    assert rates.crashes_per_gpu_second == pytest.approx(
+        FaultRates().crashes_per_gpu_second * 0.3
+    )
+
+
+def test_invalid_sample_args():
+    injector = FaultInjector()
+    with pytest.raises(ValueError):
+        injector.sample_crashes(-1.0, 8, 1)
+    with pytest.raises(ValueError):
+        injector.sample_crashes(10.0, 0, 1)
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=0)
+
+
+def test_degrade_gpu(topo):
+    event = FaultInjector(seed=0).degrade_gpu(topo, node=2, gpu=5, scale=0.4)
+    assert topo.node(2).gpus[5].compute_scale == 0.4
+    assert event.fault_type is FaultType.SLOW_GPU
+    assert event.component == 2 and event.device == 5
+
+
+def test_degrade_gpu_validates_scale(topo):
+    with pytest.raises(ValueError):
+        FaultInjector().degrade_gpu(topo, 0, 0, 0.0)
+
+
+def test_degrade_nic_port(topo):
+    FaultInjector(seed=0).degrade_nic_port(topo, node=1, nic=3, side=1, scale=0.25)
+    assert topo.network.link(topo.host_up(1, 3, 1)).capacity == pytest.approx(50 * GBPS)
+
+
+def test_degrade_host(topo):
+    FaultInjector(seed=0).degrade_host(topo, node=7, slowdown=3.0)
+    assert topo.node(7).host_slowdown == 3.0
+
+
+def test_degrade_host_validates(topo):
+    with pytest.raises(ValueError):
+        FaultInjector().degrade_host(topo, 0, 0.5)
+
+
+def test_fail_uplink(topo):
+    event = FaultInjector(seed=0).fail_uplink(topo, rail=0, side=0, spine=2, port=1)
+    assert not topo.network.link(topo.leaf_up(0, 0, 2, 1)).is_up
+    assert event.fault_type is FaultType.LINK_FAILURE
+
+
+def test_pick_victims_distinct():
+    injector = FaultInjector(seed=0)
+    victims = injector.pick_victims(list(range(10)), 5)
+    assert len(set(victims)) == 5
+
+
+def test_pick_victims_too_many():
+    with pytest.raises(ValueError):
+        FaultInjector().pick_victims([1, 2], 3)

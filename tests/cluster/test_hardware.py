@@ -1,0 +1,69 @@
+"""Tests for hardware inventory objects."""
+
+from repro.cluster.hardware import ComponentHealth, Gpu, Nic, NicPort, Node, PortSide
+
+
+def test_node_build_counts():
+    node = Node.build(3, gpus_per_node=8, nics_per_node=8)
+    assert len(node.gpus) == 8
+    assert len(node.nics) == 8
+    assert node.name == "node3"
+
+
+def test_nic_has_both_ports():
+    nic = Nic(node_id=1, index=2)
+    assert set(nic.ports) == {PortSide.LEFT, PortSide.RIGHT}
+    assert nic.ports[PortSide.LEFT].side is PortSide.LEFT
+
+
+def test_port_side_index():
+    assert PortSide.LEFT.index == 0
+    assert PortSide.RIGHT.index == 1
+
+
+def test_identifiers():
+    node = Node.build(5, 8, 8)
+    assert node.gpus[2].gpu_id == "node5/gpu2"
+    assert node.nics[3].nic_id == "node5/nic3"
+    assert node.nics[3].ports[PortSide.RIGHT].port_id == "node5/nic3/R"
+
+
+def test_nic_ip_is_deterministic_and_unique():
+    ips = set()
+    for node_id in range(4):
+        for nic_index in range(8):
+            ips.add(Nic(node_id=node_id, index=nic_index).ip_address)
+    assert len(ips) == 32
+
+
+def test_worst_gpu_scale():
+    node = Node.build(0, 8, 8)
+    node.gpus[4].compute_scale = 0.5
+    assert node.worst_gpu_scale() == 0.5
+
+
+def test_isolate_and_schedulable():
+    node = Node.build(0, 8, 8)
+    assert node.is_schedulable
+    node.isolate()
+    assert node.health is ComponentHealth.ISOLATED
+    assert not node.is_schedulable
+
+
+def test_degraded_still_schedulable():
+    node = Node.build(0, 8, 8)
+    node.health = ComponentHealth.DEGRADED
+    assert node.is_schedulable
+
+
+def test_restore_clears_all_degradations():
+    node = Node.build(0, 8, 8)
+    node.gpus[1].compute_scale = 0.3
+    node.nics[2].ports[PortSide.LEFT].bandwidth_scale = 0.5
+    node.host_slowdown = 2.0
+    node.isolate()
+    node.restore()
+    assert node.health is ComponentHealth.HEALTHY
+    assert node.worst_gpu_scale() == 1.0
+    assert node.nics[2].ports[PortSide.LEFT].bandwidth_scale == 1.0
+    assert node.host_slowdown == 1.0

@@ -1,0 +1,75 @@
+"""Tests for traffic factors and busbw accounting."""
+
+import pytest
+
+from repro.collective.algorithms import (
+    Algorithm,
+    DEFAULT_ALGORITHM,
+    OpType,
+    alltoall_pair_bits,
+    busbw,
+    ring_edge_bits,
+    traffic_factor,
+)
+
+
+def test_allreduce_factor():
+    assert traffic_factor(OpType.ALLREDUCE, 4) == pytest.approx(1.5)
+    assert traffic_factor(OpType.ALLREDUCE, 2) == pytest.approx(1.0)
+
+
+def test_factor_approaches_two_for_large_n():
+    assert traffic_factor(OpType.ALLREDUCE, 10_000) == pytest.approx(2.0, abs=1e-3)
+
+
+def test_reduce_scatter_and_allgather_are_half_allreduce():
+    for n in (2, 8, 64):
+        ar = traffic_factor(OpType.ALLREDUCE, n)
+        rs = traffic_factor(OpType.REDUCE_SCATTER, n)
+        ag = traffic_factor(OpType.ALL_GATHER, n)
+        assert rs + ag == pytest.approx(ar)
+
+
+def test_broadcast_factor_is_one():
+    assert traffic_factor(OpType.BROADCAST, 7) == 1.0
+
+
+def test_single_rank_factor_zero():
+    assert traffic_factor(OpType.ALLREDUCE, 1) == 0.0
+
+
+def test_invalid_n_rejected():
+    with pytest.raises(ValueError):
+        traffic_factor(OpType.ALLREDUCE, 0)
+
+
+def test_busbw_formula():
+    # 1.5 factor, 8 bits, 2 seconds -> 6 bits/s.
+    assert busbw(OpType.ALLREDUCE, 4, 8.0, 2.0) == pytest.approx(6.0)
+
+
+def test_busbw_rejects_zero_time():
+    with pytest.raises(ValueError):
+        busbw(OpType.ALLREDUCE, 4, 8.0, 0.0)
+
+
+def test_ring_edge_bits_split_by_channels():
+    total = ring_edge_bits(OpType.ALLREDUCE, 16, 1000.0, 1)
+    per_channel = ring_edge_bits(OpType.ALLREDUCE, 16, 1000.0, 8)
+    assert per_channel == pytest.approx(total / 8)
+
+
+def test_ring_edge_bits_rejects_bad_channels():
+    with pytest.raises(ValueError):
+        ring_edge_bits(OpType.ALLREDUCE, 16, 1000.0, 0)
+
+
+def test_alltoall_pair_bits():
+    assert alltoall_pair_bits(10, 100.0) == pytest.approx(10.0)
+    assert alltoall_pair_bits(1, 100.0) == 0.0
+
+
+def test_every_op_has_default_algorithm():
+    for op in OpType:
+        assert op in DEFAULT_ALGORITHM
+        assert isinstance(DEFAULT_ALGORITHM[op], Algorithm)

@@ -1,0 +1,189 @@
+"""Tests for the C4D master, steering service, classifier and RCA."""
+
+import pytest
+
+from repro.cluster.faults import FaultEvent, FaultClass, FaultType
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology
+from repro.collective.algorithms import OpType
+from repro.collective.communicator import RankLocation
+from repro.collective.monitoring import CommunicatorRecord, OpLaunchRecord
+from repro.core.c4d.classifier import CauseBucket, classify_anomaly, classify_fault
+from repro.core.c4d.detectors import DetectorConfig
+from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
+from repro.core.c4d.master import C4DMaster
+from repro.core.c4d.rca import RootCauseAnalyzer
+from repro.core.c4d.steering import JobSteeringService, SteeringConfig
+from repro.netsim.network import FlowNetwork
+from repro.telemetry.collector import CentralCollector
+
+
+def anomaly(node=3, kind=SuspectKind.WORKER, atype=AnomalyType.NONCOMM_HANG):
+    return Anomaly(
+        anomaly_type=atype,
+        comm_id="c",
+        detected_at=10.0,
+        suspects=(Suspect(kind=kind, node=node, device=0),),
+    )
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=0)
+
+
+def test_steering_isolates_and_replaces(topo):
+    service = JobSteeringService(topo, backup_nodes=[14, 15])
+    action = service.handle(anomaly(node=3), now=100.0)
+    assert action.isolated_nodes == (3,)
+    assert action.replacement_nodes == (14,)
+    assert not topo.node(3).is_schedulable
+    assert action.ready_at == pytest.approx(100.0 + 300.0)
+
+
+def test_steering_idempotent_on_isolated_node(topo):
+    service = JobSteeringService(topo, backup_nodes=[14])
+    service.handle(anomaly(node=3), now=0.0)
+    action = service.handle(anomaly(node=3), now=1.0)
+    assert action.isolated_nodes == ()
+    assert service.backup_pool == []
+
+
+def test_steering_pool_exhaustion(topo):
+    service = JobSteeringService(topo, backup_nodes=[])
+    action = service.handle(anomaly(node=5), now=0.0)
+    assert action.isolated_nodes == (5,)
+    assert action.replacement_nodes == ()
+
+
+def test_return_to_pool_restores(topo):
+    service = JobSteeringService(topo, backup_nodes=[])
+    service.handle(anomaly(node=2), now=0.0)
+    service.return_to_pool(2)
+    assert topo.node(2).is_schedulable
+    assert 2 in service.backup_pool
+
+
+def test_steering_config_latencies(topo):
+    service = JobSteeringService(
+        topo, backup_nodes=[], config=SteeringConfig(isolation_seconds=10, restart_seconds=20)
+    )
+    action = service.handle(anomaly(node=1), now=5.0)
+    assert action.ready_at == 35.0
+
+
+def test_classify_fault_buckets():
+    event = FaultEvent(0.0, FaultType.ECC_NVLINK_ERROR, FaultClass.CRASH, True, 1, 2)
+    assert classify_fault(event) is CauseBucket.ECC_NVLINK
+    other = FaultEvent(0.0, FaultType.NETWORK_OTHER, FaultClass.CRASH, False)
+    assert classify_fault(other) is CauseBucket.UNKNOWN
+
+
+def test_classify_anomaly_by_syndrome():
+    assert classify_anomaly(anomaly(atype=AnomalyType.NONCOMM_HANG)) is CauseBucket.CUDA_ERROR
+    assert classify_anomaly(anomaly(atype=AnomalyType.COMM_HANG)) is CauseBucket.ACK_TIMEOUT
+    assert classify_anomaly(anomaly(atype=AnomalyType.COMM_SLOW)) is CauseBucket.CCL_TIMEOUT
+
+
+def test_classify_anomaly_hint_dominates():
+    result = classify_anomaly(
+        anomaly(atype=AnomalyType.COMM_HANG), device_error_hint=FaultType.CUDA_ERROR
+    )
+    assert result is CauseBucket.CUDA_ERROR
+
+
+def test_rca_report():
+    rca = RootCauseAnalyzer()
+    rca.submit(anomaly(atype=AnomalyType.COMM_HANG))
+    rca.submit(anomaly(atype=AnomalyType.COMM_HANG))
+    rca.submit(
+        anomaly(atype=AnomalyType.NONCOMM_HANG),
+        fault_context=FaultEvent(0.0, FaultType.CUDA_ERROR, FaultClass.CRASH, True, 1),
+    )
+    report = rca.report()
+    assert report.total_cases == 3
+    assert report.proportion(CauseBucket.ACK_TIMEOUT) == pytest.approx(2 / 3)
+    assert report.proportion(CauseBucket.CUDA_ERROR) == pytest.approx(1 / 3)
+
+
+def _hang_collector():
+    collector = CentralCollector()
+    ranks = tuple(RankLocation(i, 0) for i in range(4))
+    collector.ingest_communicator(CommunicatorRecord("c", 4, ranks), now=0.0)
+    for rank in range(3):  # rank 3 never launches
+        collector.ingest_launch(
+            OpLaunchRecord("c", 0, OpType.ALLREDUCE, rank, ranks[rank], 0.0)
+        )
+    return collector
+
+
+def test_master_detects_and_steers(topo):
+    collector = _hang_collector()
+    steering = JobSteeringService(topo, backup_nodes=[15])
+    rca = RootCauseAnalyzer()
+    master = C4DMaster(collector, DetectorConfig(hang_timeout=30.0), steering=steering, rca=rca)
+    fresh = master.evaluate(now=60.0)
+    assert len(fresh) == 1
+    assert fresh[0].anomaly_type is AnomalyType.NONCOMM_HANG
+    assert steering.actions and steering.actions[0].isolated_nodes == (3,)
+    assert rca.report().total_cases == 1
+
+
+def test_master_cooldown_suppresses_repeats(topo):
+    collector = _hang_collector()
+    master = C4DMaster(collector, DetectorConfig(hang_timeout=30.0), cooldown=300.0)
+    assert len(master.evaluate(now=60.0)) == 1
+    assert master.evaluate(now=70.0) == []
+    assert len(master.evaluate(now=400.0)) == 1
+
+
+def test_master_attach_to_event_loop(topo):
+    collector = _hang_collector()
+    master = C4DMaster(collector, DetectorConfig(hang_timeout=30.0))
+    net = FlowNetwork()
+    master.attach_to(net, interval=10.0, until=100.0)
+    net.run(until=100.0)
+    assert master.anomalies
+    assert master.anomalies[0].detected_at <= 40.0
+
+
+def _multi_comm_straggler_collector():
+    """Two communicators both implicating node 3 as a straggler."""
+    from repro.collective.algorithms import Algorithm
+    from repro.collective.monitoring import OpRecord
+
+    collector = CentralCollector()
+    for comm_id in ("dp0", "dp1"):
+        ranks = tuple(RankLocation(i, 0) for i in range(8))
+        collector.ingest_communicator(
+            CommunicatorRecord(comm_id, 8, ranks), now=0.0
+        )
+        for seq in range(3):
+            launches = [float(seq)] * 8
+            launches[3] = seq + 1.0
+            start = max(launches)
+            for rank in range(8):
+                collector.ingest_op(
+                    OpRecord(
+                        comm_id=comm_id, seq=seq, op_type=OpType.ALLREDUCE,
+                        algorithm=Algorithm.RING, dtype="fp16", element_count=1,
+                        rank=rank, location=ranks[rank],
+                        launch_time=launches[rank], start_time=start,
+                        end_time=start + 0.5,
+                    )
+                )
+    return collector
+
+
+def test_master_aggregates_cross_communicator_suspects():
+    collector = _multi_comm_straggler_collector()
+    master = C4DMaster(collector)
+    fresh = master.evaluate(now=10.0)
+    # Two per-communicator NONCOMM_SLOW anomalies fuse into one
+    # node-scoped anomaly.
+    assert len(fresh) == 1
+    anomaly = fresh[0]
+    assert anomaly.comm_id == "<multiple>"
+    assert anomaly.suspects[0].kind is SuspectKind.NODE
+    assert anomaly.suspects[0].node == 3
+    assert set(anomaly.evidence["comm_ids"]) == {"dp0", "dp1"}

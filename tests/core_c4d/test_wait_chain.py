@@ -1,0 +1,75 @@
+"""Tests for the wait-chain straggler analysis."""
+
+import pytest
+
+from repro.collective.algorithms import Algorithm, OpType
+from repro.collective.communicator import RankLocation
+from repro.collective.monitoring import OpRecord
+from repro.core.c4d.wait_chain import analyze_wait_chain
+
+
+def records_with_launches(launches, comm="c"):
+    start = max(launches)
+    return [
+        OpRecord(
+            comm_id=comm, seq=0, op_type=OpType.ALLREDUCE, algorithm=Algorithm.RING,
+            dtype="fp16", element_count=1, rank=rank, location=RankLocation(rank // 8, rank % 8),
+            launch_time=launch, start_time=start, end_time=start + 1.0,
+        )
+        for rank, launch in enumerate(launches)
+    ]
+
+
+def test_uniform_launches_no_straggler():
+    finding = analyze_wait_chain(records_with_launches([0.0] * 16))
+    assert not finding.is_anomalous
+
+
+def test_jitter_tolerated():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    launches = list(rng.uniform(0.0, 0.01, 16))
+    finding = analyze_wait_chain(records_with_launches(launches), min_lateness=0.05)
+    assert not finding.is_anomalous
+
+
+def test_single_straggler_identified():
+    launches = [0.0] * 16
+    launches[11] = 2.0
+    finding = analyze_wait_chain(records_with_launches(launches))
+    assert finding.is_anomalous
+    assert len(finding.suspects) == 1
+    suspect = finding.suspects[0]
+    assert (suspect.node, suspect.device) == (1, 3)
+    assert finding.lateness == pytest.approx(2.0)
+
+
+def test_straggler_wait_semantics():
+    # The straggler waits least; everyone else waits for it.
+    launches = [0.0] * 8
+    launches[2] = 1.0
+    records = records_with_launches(launches)
+    finding = analyze_wait_chain(records)
+    assert finding.median_wait == pytest.approx(1.0)
+
+
+def test_multiple_stragglers():
+    launches = [0.0] * 16
+    launches[3] = 1.5
+    launches[9] = 1.4
+    finding = analyze_wait_chain(records_with_launches(launches))
+    nodes = {(s.node, s.device) for s in finding.suspects}
+    assert (0, 3) in nodes and (1, 1) in nodes
+
+
+def test_min_lateness_floor():
+    launches = [0.0] * 8
+    launches[1] = 0.02
+    finding = analyze_wait_chain(records_with_launches(launches), min_lateness=0.05)
+    assert not finding.is_anomalous
+
+
+def test_too_few_records():
+    finding = analyze_wait_chain(records_with_launches([0.0, 5.0]))
+    assert not finding.is_anomalous

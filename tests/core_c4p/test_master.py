@@ -1,0 +1,119 @@
+"""Tests for the C4P master's allocation rules."""
+
+import pytest
+
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology
+from repro.collective.selectors import PathRequest
+from repro.core.c4p.master import C4PMaster
+from repro.netsim.network import FlowNetwork
+from repro.netsim.routing import FiveTuple
+
+
+def build(enforce_plane=True, search_ports=True):
+    topo = ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=3)
+    return topo, C4PMaster(topo, enforce_plane=enforce_plane, search_ports=search_ports)
+
+
+def request(src=0, dst=1, nic=0, qps=2, comm="c0"):
+    return PathRequest(
+        comm_id=comm, job_id="j", src_node=src, src_nic=nic,
+        dst_node=dst, dst_nic=nic, num_qps=qps,
+    )
+
+
+def test_plane_rule_enforced():
+    _topo, master = build()
+    allocs = master.allocate(request(qps=4))
+    for alloc in allocs:
+        assert alloc.choice.src_side == alloc.choice.dst_side
+
+
+def test_qps_split_across_ports():
+    _topo, master = build()
+    allocs = master.allocate(request(qps=2))
+    assert {a.choice.src_side for a in allocs} == {0, 1}
+
+
+def test_source_ports_actually_steer():
+    # The authentic property: the returned port makes plain ECMP hashing
+    # reproduce the planned route.
+    topo, master = build()
+    alloc = master.allocate(request())[0]
+    choice = topo.ecmp_choice(
+        0, 0, 1, 0, alloc.five_tuple, src_side=alloc.choice.src_side
+    )
+    assert choice == alloc.choice
+
+
+def test_synthetic_ports_mode():
+    _topo, master = build(search_ports=False)
+    allocs = master.allocate(request(qps=4))
+    assert len({a.src_port for a in allocs}) == 4
+
+
+def test_balanced_across_spines():
+    topo, master = build(search_ports=False)
+    spine_counts = {}
+    for i in range(64):
+        for alloc in master.allocate(request(src=i % 16, dst=(i + 1) % 16, comm=f"c{i}")):
+            key = (alloc.choice.src_side, alloc.choice.spine, alloc.choice.up_port)
+            spine_counts[key] = spine_counts.get(key, 0) + 1
+    assert max(spine_counts.values()) - min(spine_counts.values()) <= 1
+
+
+def test_release_frees_load():
+    topo, master = build(search_ports=False)
+    req = request()
+    allocs = master.allocate(req)
+    loads_before = dict(master.registry.link_load)
+    master.release(req, allocs)
+    assert all(v == 0 for v in master.registry.link_load.values())
+    assert any(v > 0 for v in loads_before.values())
+
+
+def test_catalog_excludes_failed_links():
+    topo = ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=3)
+    dead = topo.leaf_up(0, 0, 4, 2)
+    topo.network.fail_link(dead)
+    master = C4PMaster(topo, search_ports=False)
+    assert dead in master.registry.dead_links
+    for i in range(128):
+        alloc = master.allocate(request(comm=f"c{i}", qps=1))[0]
+        assert (alloc.choice.spine, alloc.choice.up_port) != (4, 2) or alloc.choice.src_side != 0
+
+
+def test_notify_link_failure():
+    _topo, master = build(search_ports=False)
+    link = master.topology.leaf_up(1, 0, 0, 0)
+    master.notify_link_failure(link)
+    assert link in master.registry.dead_links
+
+
+def test_reallocate_moves_route():
+    topo, master = build(search_ports=False)
+    req = request()
+    alloc = master.allocate(req)[0]
+    old_choice = alloc.choice
+    # Kill the allocated uplink, notify, reallocate.
+    dead = topo.leaf_up(0, old_choice.src_side, old_choice.spine, old_choice.up_port)
+    topo.network.fail_link(dead)
+    master.notify_link_failure(dead)
+    master.reallocate(req, alloc)
+    assert (alloc.choice.spine, alloc.choice.up_port) != (
+        old_choice.spine,
+        old_choice.up_port,
+    )
+    assert alloc.choice.src_side == old_choice.src_side  # plane preserved
+    for link_id in alloc.path:
+        assert topo.network.link(link_id).is_up
+
+
+def test_disabled_spines_excluded():
+    topo = ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=3)
+    for spine in (4, 5, 6, 7):
+        topo.disable_spine(0, spine)
+    master = C4PMaster(topo, search_ports=False)
+    for i in range(32):
+        alloc = master.allocate(request(comm=f"c{i}", qps=1))[0]
+        assert alloc.choice.spine < 4

@@ -1,0 +1,76 @@
+"""Tests for path probing and source-port search."""
+
+import pytest
+
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology, PathChoice
+from repro.core.c4p.probing import PathProber
+from repro.netsim.network import FlowNetwork
+from repro.netsim.routing import FiveTuple
+
+
+@pytest.fixture
+def prober():
+    topo = ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=4)
+    return PathProber(topo)
+
+
+def test_find_source_port_steers_both_stages(prober):
+    spec = TESTBED_16_NODES
+    choice = PathChoice(src_side=0, spine=5, up_port=2, dst_side=0, down_port=3)
+    port = prober.find_source_port("10.0.0.1", "10.0.0.2", rail=1, choice=choice)
+    hasher = prober.topology.ecmp
+    ft = FiveTuple(src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=port, dst_port=4791)
+    up_fanout = spec.spines_per_rail * spec.uplink_ports_per_spine
+    up = hasher.choose(ft, up_fanout, stage="up:1:0")
+    assert divmod(up, spec.uplink_ports_per_spine) == (5, 2)
+    down = hasher.choose(ft, 2 * spec.uplink_ports_per_spine, stage="down:1:5")
+    assert divmod(down, spec.uplink_ports_per_spine) == (0, 3)
+
+
+def test_find_source_port_tiny_range_fails(prober):
+    choice = PathChoice(0, 0, 0, 0, 0)
+    with pytest.raises(LookupError):
+        prober.find_source_port("a", "b", 0, choice, port_range=range(50000, 50002))
+
+
+def test_probe_route_healthy(prober):
+    choice = PathChoice(0, 0, 0, 0, 0)
+    assert prober.probe_route(0, choice)
+
+
+def test_probe_route_detects_dead_uplink(prober):
+    choice = PathChoice(0, 3, 1, 0, 0)
+    prober.topology.network.fail_link(prober.topology.leaf_up(0, 0, 3, 1))
+    assert not prober.probe_route(0, choice)
+
+
+def test_probe_route_detects_dead_downlink(prober):
+    choice = PathChoice(0, 3, 0, 1, 2)
+    prober.topology.network.fail_link(prober.topology.spine_down(0, 3, 1, 2))
+    assert not prober.probe_route(0, choice)
+
+
+def test_full_mesh_counts(prober):
+    spec = TESTBED_16_NODES
+    results = prober.full_mesh(0)
+    expected = 2 * spec.spines_per_rail * spec.uplink_ports_per_spine * 2 * spec.uplink_ports_per_spine
+    assert len(results) == expected
+    assert all(r.healthy for r in results)
+
+
+def test_full_mesh_flags_failed_links(prober):
+    prober.topology.network.fail_link(prober.topology.leaf_up(0, 0, 2, 0))
+    results = prober.full_mesh(0)
+    unhealthy = [r for r in results if not r.healthy]
+    assert unhealthy
+    assert all(
+        r.choice.src_side == 0 and r.choice.spine == 2 and r.choice.up_port == 0
+        for r in unhealthy
+    )
+
+
+def test_full_mesh_with_port_search(prober):
+    results = prober.full_mesh(0, find_ports=True)
+    healthy = [r for r in results if r.healthy]
+    assert all(49152 <= r.src_port < 65536 for r in healthy)

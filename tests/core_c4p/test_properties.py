@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for C4P's registry and probing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.specs import ClusterSpec
+from repro.cluster.topology import ClusterTopology
+from repro.core.c4p.registry import PathRegistry
+from repro.netsim.network import FlowNetwork
+
+
+def build_registry(spines=4, ports=2):
+    spec = ClusterSpec(
+        num_nodes=4, spines_per_rail=spines, uplink_ports_per_spine=ports
+    )
+    topo = ClusterTopology(spec, FlowNetwork(), ecmp_seed=0)
+    return PathRegistry(topo)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 1)),  # (rail, side)
+        min_size=1,
+        max_size=120,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_registry_loads_stay_balanced(acquires):
+    registry = build_registry()
+    per_leaf: dict[tuple[int, int], int] = {}
+    for rail, side in acquires:
+        registry.acquire(rail, side)
+        per_leaf[(rail, side)] = per_leaf.get((rail, side), 0) + 1
+    # Invariant: on every leaf, uplink loads differ by at most 1 and sum
+    # to the number of acquisitions from that leaf.
+    for (rail, side), count in per_leaf.items():
+        loads = [
+            registry.load_of(link) for link in registry.topology.leaf_uplinks(rail, side)
+        ]
+        assert sum(loads) == count
+        assert max(loads) - min(loads) <= 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 1)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_registry_acquire_release_conserves(acquires, rng):
+    registry = build_registry()
+    held = []
+    for rail, side in acquires:
+        held.append((rail, registry.acquire(rail, side)))
+        # Randomly release something we hold.
+        if held and rng.random() < 0.4:
+            index = rng.randrange(len(held))
+            rail_r, choice = held.pop(index)
+            registry.release(rail_r, choice)
+    for rail, choice in held:
+        registry.release(rail, choice)
+    assert all(load == 0 for load in registry.link_load.values())
+
+
+@given(st.integers(0, 3), st.integers(0, 1), st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_registry_never_hands_out_dead_links(rail, side, dead_index):
+    registry = build_registry(spines=4, ports=2)
+    uplinks = registry.topology.leaf_uplinks(rail, side)
+    dead = uplinks[dead_index % len(uplinks)]
+    registry.mark_dead(dead)
+    for _ in range(3 * len(uplinks)):
+        choice = registry.acquire(rail, side)
+        chosen = registry.topology.leaf_up(rail, side, choice.spine, choice.up_port)
+        assert chosen != dead

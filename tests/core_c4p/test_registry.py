@@ -1,0 +1,100 @@
+"""Tests for the C4P path registry."""
+
+import pytest
+
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology
+from repro.core.c4p.registry import PathRegistry
+from repro.netsim.network import FlowNetwork
+
+
+@pytest.fixture
+def registry():
+    topo = ClusterTopology(TESTBED_16_NODES, FlowNetwork(), ecmp_seed=0)
+    return PathRegistry(topo)
+
+
+def test_acquire_preserves_plane_by_default(registry):
+    choice = registry.acquire(rail=0, src_side=1)
+    assert choice.src_side == 1
+    assert choice.dst_side == 1
+
+
+def test_acquire_counts_load(registry):
+    choice = registry.acquire(0, 0)
+    up = registry.topology.leaf_up(0, 0, choice.spine, choice.up_port)
+    down = registry.topology.spine_down(0, choice.spine, choice.dst_side, choice.down_port)
+    assert registry.load_of(up) == 1
+    assert registry.load_of(down) == 1
+
+
+def test_release_returns_load(registry):
+    choice = registry.acquire(0, 0)
+    registry.release(0, choice)
+    up = registry.topology.leaf_up(0, 0, choice.spine, choice.up_port)
+    assert registry.load_of(up) == 0
+
+
+def test_double_release_detected(registry):
+    choice = registry.acquire(0, 0)
+    registry.release(0, choice)
+    with pytest.raises(AssertionError):
+        registry.release(0, choice)
+
+
+def test_allocations_balance_across_uplinks(registry):
+    spec = TESTBED_16_NODES
+    fanout = spec.spines_per_rail * spec.uplink_ports_per_spine
+    for _ in range(fanout):
+        registry.acquire(0, 0)
+    loads = [
+        registry.load_of(link) for link in registry.topology.leaf_uplinks(0, 0)
+    ]
+    assert max(loads) == 1  # perfectly balanced first wave
+    for _ in range(fanout):
+        registry.acquire(0, 0)
+    loads = [
+        registry.load_of(link) for link in registry.topology.leaf_uplinks(0, 0)
+    ]
+    assert max(loads) == 2
+
+
+def test_dead_links_avoided(registry):
+    dead = registry.topology.leaf_up(0, 0, 2, 1)
+    registry.mark_dead(dead)
+    spec = TESTBED_16_NODES
+    fanout = spec.spines_per_rail * spec.uplink_ports_per_spine
+    for _ in range(3 * fanout):
+        choice = registry.acquire(0, 0)
+        assert (choice.spine, choice.up_port) != (2, 1)
+
+
+def test_mark_alive_restores(registry):
+    link = registry.topology.leaf_up(0, 0, 2, 1)
+    registry.mark_dead(link)
+    registry.mark_alive(link)
+    assert registry.is_usable(link)
+
+
+def test_all_dead_raises(registry):
+    spec = TESTBED_16_NODES
+    for spine in range(spec.spines_per_rail):
+        for k in range(spec.uplink_ports_per_spine):
+            registry.mark_dead(registry.topology.leaf_up(0, 0, spine, k))
+    with pytest.raises(RuntimeError):
+        registry.acquire(0, 0)
+
+
+def test_sides_tracked_independently(registry):
+    left = registry.acquire(0, 0)
+    right = registry.acquire(0, 1)
+    assert left.src_side == 0 and right.src_side == 1
+    up_left = registry.topology.leaf_up(0, 0, left.spine, left.up_port)
+    up_right = registry.topology.leaf_up(0, 1, right.spine, right.up_port)
+    assert registry.load_of(up_left) == 1
+    assert registry.load_of(up_right) == 1
+
+
+def test_explicit_cross_plane_allowed_when_requested(registry):
+    choice = registry.acquire(0, 0, dst_side=1)
+    assert choice.dst_side == 1

@@ -1,0 +1,114 @@
+"""Tests for the weighted max-min fair solver."""
+
+import pytest
+
+from repro.netsim.fairness import max_min_rates
+from repro.netsim.flows import Flow
+
+
+def _flow(fid, path, weight=1.0, rate_cap=None):
+    return Flow(flow_id=fid, path=path, size=1.0, weight=weight, rate_cap=rate_cap)
+
+
+def test_empty_input():
+    assert max_min_rates([], {}) == {}
+
+
+def test_single_flow_gets_full_capacity():
+    rates = max_min_rates([_flow("f", ["a"])], {"a": 10.0})
+    assert rates["f"] == pytest.approx(10.0)
+
+
+def test_equal_split_on_shared_link():
+    flows = [_flow("f1", ["a"]), _flow("f2", ["a"])]
+    rates = max_min_rates(flows, {"a": 10.0})
+    assert rates["f1"] == pytest.approx(5.0)
+    assert rates["f2"] == pytest.approx(5.0)
+
+
+def test_weighted_split():
+    flows = [_flow("f1", ["a"], weight=1.0), _flow("f2", ["a"], weight=3.0)]
+    rates = max_min_rates(flows, {"a": 8.0})
+    assert rates["f1"] == pytest.approx(2.0)
+    assert rates["f2"] == pytest.approx(6.0)
+
+
+def test_bottleneck_frees_capacity_elsewhere():
+    # f2 is constrained on b, so f1 gets the leftover of a.
+    flows = [_flow("f1", ["a"]), _flow("f2", ["a", "b"])]
+    rates = max_min_rates(flows, {"a": 10.0, "b": 2.0})
+    assert rates["f2"] == pytest.approx(2.0)
+    assert rates["f1"] == pytest.approx(8.0)
+
+
+def test_classic_three_flow_scenario():
+    # Textbook: f1 on a, f2 on a+b, f3 on b; a=10, b=4.
+    flows = [_flow("f1", ["a"]), _flow("f2", ["a", "b"]), _flow("f3", ["b"])]
+    rates = max_min_rates(flows, {"a": 10.0, "b": 4.0})
+    assert rates["f2"] == pytest.approx(2.0)
+    assert rates["f3"] == pytest.approx(2.0)
+    assert rates["f1"] == pytest.approx(8.0)
+
+
+def test_rate_cap_limits_flow():
+    flows = [_flow("f1", ["a"], rate_cap=1.0), _flow("f2", ["a"])]
+    rates = max_min_rates(flows, {"a": 10.0})
+    assert rates["f1"] == pytest.approx(1.0)
+    assert rates["f2"] == pytest.approx(9.0)
+
+
+def test_cap_override_takes_precedence():
+    flows = [_flow("f1", ["a"], rate_cap=5.0)]
+    rates = max_min_rates(flows, {"a": 10.0}, cap_overrides={"f1": 2.0})
+    assert rates["f1"] == pytest.approx(2.0)
+
+
+def test_cap_override_without_flow_cap():
+    flows = [_flow("f1", ["a"])]
+    rates = max_min_rates(flows, {"a": 10.0}, cap_overrides={"f1": 3.0})
+    assert rates["f1"] == pytest.approx(3.0)
+
+
+def test_no_link_oversubscribed():
+    flows = [
+        _flow("f1", ["a", "b"]),
+        _flow("f2", ["b", "c"]),
+        _flow("f3", ["a", "c"]),
+        _flow("f4", ["a"]),
+    ]
+    caps = {"a": 7.0, "b": 3.0, "c": 5.0}
+    rates = max_min_rates(flows, caps)
+    load = {link: 0.0 for link in caps}
+    for flow in flows:
+        for link in flow.path:
+            load[link] += rates[flow.flow_id]
+    for link, total in load.items():
+        assert total <= caps[link] * (1 + 1e-9)
+
+
+def test_max_min_property_increasing_any_rate_needs_decrease():
+    # At the max-min fixed point every flow crosses a saturated link.
+    flows = [_flow("f1", ["a", "b"]), _flow("f2", ["b"]), _flow("f3", ["a"])]
+    caps = {"a": 6.0, "b": 4.0}
+    rates = max_min_rates(flows, caps)
+    load = {link: 0.0 for link in caps}
+    for flow in flows:
+        for link in flow.path:
+            load[link] += rates[flow.flow_id]
+    for flow in flows:
+        saturated = any(load[link] >= caps[link] * (1 - 1e-9) for link in flow.path)
+        assert saturated, f"{flow.flow_id} could be increased"
+
+
+def test_many_flows_one_link():
+    flows = [_flow(f"f{i}", ["a"]) for i in range(100)]
+    rates = max_min_rates(flows, {"a": 100.0})
+    for fid, rate in rates.items():
+        assert rate == pytest.approx(1.0)
+
+
+def test_disjoint_links_independent():
+    flows = [_flow("f1", ["a"]), _flow("f2", ["b"])]
+    rates = max_min_rates(flows, {"a": 3.0, "b": 7.0})
+    assert rates["f1"] == pytest.approx(3.0)
+    assert rates["f2"] == pytest.approx(7.0)

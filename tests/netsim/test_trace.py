@@ -1,0 +1,95 @@
+"""Tests for the simulation tracer."""
+
+import json
+
+import pytest
+
+from repro.netsim.flows import Flow
+from repro.netsim.network import FlowNetwork
+from repro.netsim.trace import SimTracer, TraceEventType
+from repro.netsim.units import GBPS
+
+
+def traced_net():
+    net = FlowNetwork()
+    net.tracer = SimTracer()
+    net.add_link("a", GBPS)
+    net.add_link("b", GBPS)
+    return net
+
+
+def test_flow_lifecycle_traced():
+    net = traced_net()
+    net.add_flow(Flow(flow_id="f", path=["a"], size=GBPS))
+    net.run()
+    tracer = net.tracer
+    starts = tracer.of_type(TraceEventType.FLOW_START)
+    completes = tracer.of_type(TraceEventType.FLOW_COMPLETE)
+    assert len(starts) == 1 and starts[0].subject == "f"
+    assert len(completes) == 1
+    assert completes[0].detail["duration"] == pytest.approx(1.0)
+
+
+def test_link_failure_and_stall_traced():
+    net = traced_net()
+    flow = Flow(flow_id="f", path=["a"], size=10 * GBPS)
+    net.add_flow(flow)
+    net.schedule(1.0, lambda: net.fail_link("a"))
+    net.schedule(2.0, lambda: net.restore_link("a"))
+    net.run(until=3.0)
+    tracer = net.tracer
+    assert len(tracer.of_type(TraceEventType.LINK_DOWN)) == 1
+    assert len(tracer.of_type(TraceEventType.LINK_UP)) == 1
+    stalls = tracer.of_type(TraceEventType.FLOW_STALLED)
+    assert len(stalls) == 1
+    assert stalls[0].detail["link"] == "a"
+
+
+def test_between_filters_by_time():
+    net = traced_net()
+    net.add_flow(Flow(flow_id="f1", path=["a"], size=GBPS))
+    net.run()
+    net.add_flow(Flow(flow_id="f2", path=["a"], size=GBPS))
+    net.run()
+    early = net.tracer.between(0.0, 1.5)
+    subjects = {e.subject for e in early}
+    assert "f1" in subjects
+    assert "f2" not in subjects or all(
+        e.event_type is TraceEventType.FLOW_START for e in early if e.subject == "f2"
+    )
+
+
+def test_summary_counts():
+    net = traced_net()
+    net.add_flow(Flow(flow_id="f", path=["a"], size=GBPS))
+    net.run()
+    summary = net.tracer.summary()
+    assert summary["flow_start"] == 1
+    assert summary["flow_complete"] == 1
+
+
+def test_capacity_drops_oldest():
+    tracer = SimTracer(capacity=2)
+    net = FlowNetwork()
+    net.tracer = tracer
+    net.add_link("a", GBPS)
+    for i in range(3):
+        net.add_flow(Flow(flow_id=f"f{i}", path=["a"], size=GBPS))
+        net.run()
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 4  # 6 events total (3 starts + 3 completes)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SimTracer(capacity=0)
+
+
+def test_write_json(tmp_path):
+    net = traced_net()
+    net.add_flow(Flow(flow_id="f", path=["a"], size=GBPS))
+    net.run()
+    path = net.tracer.write_json(tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+    assert payload[0]["type"] == "flow_start"
+    assert payload[-1]["type"] == "flow_complete"

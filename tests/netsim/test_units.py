@@ -1,0 +1,25 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.netsim import units
+
+
+def test_gbps_round_trip():
+    assert units.bits_to_gbps(units.gbps_to_bits(123.4)) == pytest.approx(123.4)
+
+
+def test_byte_bit_round_trip():
+    assert units.bits_to_bytes(units.bytes_to_bits(77)) == pytest.approx(77)
+
+
+def test_mib_is_1024_kib():
+    assert units.MIB == 1024 * units.KIB
+
+
+def test_gib_is_1024_mib():
+    assert units.GIB == 1024 * units.MIB
+
+
+def test_kib_is_8192_bits():
+    assert units.KIB == 8192

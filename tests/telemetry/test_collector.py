@@ -1,0 +1,134 @@
+"""Tests for the central collector."""
+
+import pytest
+
+from repro.collective.algorithms import Algorithm, OpType
+from repro.collective.communicator import RankLocation
+from repro.collective.monitoring import (
+    CommunicatorRecord,
+    MessageRecord,
+    OpLaunchRecord,
+    OpRecord,
+)
+from repro.telemetry.collector import CentralCollector
+
+
+def comm_record(comm="c", size=4):
+    return CommunicatorRecord(
+        comm_id=comm, size=size, ranks=tuple(RankLocation(0, i) for i in range(size))
+    )
+
+
+def op(comm="c", seq=0, rank=0, end=1.0):
+    return OpRecord(
+        comm_id=comm,
+        seq=seq,
+        op_type=OpType.ALLREDUCE,
+        algorithm=Algorithm.RING,
+        dtype="fp16",
+        element_count=8,
+        rank=rank,
+        location=RankLocation(0, rank),
+        launch_time=end - 1.0,
+        start_time=end - 0.5,
+        end_time=end,
+    )
+
+
+def launch(comm="c", seq=0, rank=0, t=0.0):
+    return OpLaunchRecord(
+        comm_id=comm, seq=seq, op_type=OpType.ALLREDUCE, rank=rank,
+        location=RankLocation(0, rank), launch_time=t,
+    )
+
+
+def message(comm="c", seq=0, complete=1.0):
+    return MessageRecord(
+        comm_id=comm, seq=seq, src_node=0, src_nic=0, dst_node=1, dst_nic=0,
+        src_ip="a", dst_ip="b", qp_num=1, src_port=50000, message_index=0,
+        size_bits=10.0, post_time=complete - 0.5, complete_time=complete,
+    )
+
+
+def test_ingest_requires_registration():
+    collector = CentralCollector()
+    with pytest.raises(KeyError):
+        collector.ingest_op(op())
+
+
+def test_progress_tracking():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record(size=2), now=5.0)
+    progress = collector.progress["c"]
+    assert progress.created_at == 5.0
+    assert progress.min_seq == -1
+    collector.ingest_op(op(seq=0, rank=0))
+    assert progress.max_seq == 0
+    assert progress.min_seq == -1  # rank 1 hasn't completed
+    collector.ingest_op(op(seq=0, rank=1))
+    assert progress.min_seq == 0
+
+
+def test_launch_tracking():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record(size=2))
+    collector.ingest_launch(launch(seq=3, rank=0, t=9.0))
+    progress = collector.progress["c"]
+    assert progress.max_launch_seq == 3
+    assert progress.last_launch_time == 9.0
+
+
+def test_ops_since_filter():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_op(op(seq=0, end=1.0))
+    collector.ingest_op(op(seq=1, end=5.0))
+    assert len(collector.ops("c", since=2.0)) == 1
+
+
+def test_messages_since_filter():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_message(message(seq=0, complete=1.0))
+    collector.ingest_message(message(seq=1, complete=9.0))
+    assert len(collector.messages("c", since=5.0)) == 1
+
+
+def test_ops_for_seq():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_op(op(seq=2, rank=0))
+    collector.ingest_op(op(seq=2, rank=1))
+    collector.ingest_op(op(seq=3, rank=0))
+    assert len(collector.ops_for_seq("c", 2)) == 2
+
+
+def test_launches_for_seq():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_launch(launch(seq=1, rank=0))
+    collector.ingest_launch(launch(seq=1, rank=1))
+    assert len(collector.launches_for_seq("c", 1)) == 2
+
+
+def test_latest_seqs():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    for seq in range(5):
+        collector.ingest_op(op(seq=seq))
+    assert collector.latest_seqs("c", 2) == [3, 4]
+
+
+def test_window_bound():
+    collector = CentralCollector(op_window=3)
+    collector.ingest_communicator(comm_record())
+    for seq in range(10):
+        collector.ingest_op(op(seq=seq))
+    assert len(collector.ops("c")) == 3
+
+
+def test_comm_ids():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record("a"))
+    collector.ingest_communicator(comm_record("b"))
+    assert set(collector.comm_ids()) == {"a", "b"}

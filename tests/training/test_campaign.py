@@ -1,0 +1,68 @@
+"""Tests for the multi-seed fault campaign driver."""
+
+import pytest
+
+from repro.training.campaign import (
+    CampaignResult,
+    ComponentStats,
+    reduction_factor,
+    run_campaign,
+)
+from repro.training.lifetime import BASELINE_OPERATIONS, C4D_OPERATIONS, LifetimeConfig
+
+
+def test_requires_two_runs():
+    with pytest.raises(ValueError):
+        run_campaign(BASELINE_OPERATIONS, runs=1)
+
+
+def test_campaign_statistics_shape():
+    result = run_campaign(BASELINE_OPERATIONS, runs=8)
+    assert result.runs == 8
+    assert len(result.crash_counts) == 8
+    assert set(result.components) == {
+        "Post-Checkpoint", "Detection", "Diagnosis & Isolation",
+        "Re-Initialization", "Total",
+    }
+    total = result.total
+    assert 0.15 < total.mean < 0.5
+    assert total.ci95 > 0
+    assert total.low <= total.mean <= total.high
+
+
+def test_campaign_is_deterministic():
+    a = run_campaign(BASELINE_OPERATIONS, runs=5)
+    b = run_campaign(BASELINE_OPERATIONS, runs=5)
+    assert a.total.mean == b.total.mean
+
+
+def test_seeds_actually_vary():
+    result = run_campaign(BASELINE_OPERATIONS, runs=8)
+    assert len(set(result.crash_counts)) > 1
+
+
+def test_reduction_factor_with_error_bars():
+    before = run_campaign(BASELINE_OPERATIONS, LifetimeConfig(seed=100), runs=10)
+    after = run_campaign(C4D_OPERATIONS, LifetimeConfig(seed=100), runs=10)
+    factor = reduction_factor(before, after)
+    # Paper: ~30x; the CI must comfortably exclude "no improvement".
+    assert 10 < factor.mean < 100
+    assert factor.low > 5
+
+
+def test_component_stats_bounds():
+    stats = ComponentStats(mean=0.01, ci95=0.05)
+    assert stats.low == 0.0  # clamped
+    assert stats.high == pytest.approx(0.06)
+
+
+def test_reduction_rejects_zero_after():
+    before = run_campaign(BASELINE_OPERATIONS, runs=3)
+    fake_after = CampaignResult(
+        operations_name="zero",
+        runs=3,
+        components={"Total": ComponentStats(mean=0.0, ci95=0.0)},
+        crash_counts=(0, 0, 0),
+    )
+    with pytest.raises(ValueError):
+        reduction_factor(before, fake_after)

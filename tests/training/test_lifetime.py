@@ -1,0 +1,109 @@
+"""Tests for the month-scale lifetime Monte-Carlo (Table III)."""
+
+import pytest
+
+from repro.core.c4d.classifier import CauseBucket
+from repro.training.lifetime import (
+    BASELINE_OPERATIONS,
+    C4D_OPERATIONS,
+    DowntimeBreakdown,
+    LifetimeConfig,
+    OperationsModel,
+    simulate_lifetime,
+)
+
+
+def test_baseline_downtime_matches_paper_ballpark():
+    breakdown = simulate_lifetime(LifetimeConfig(seed=7), BASELINE_OPERATIONS)
+    total = breakdown.fraction(breakdown.total_seconds)
+    # Paper (June 2023): 31.19% total error-induced downtime.
+    assert 0.20 < total < 0.45
+
+
+def test_c4d_downtime_matches_paper_ballpark():
+    breakdown = simulate_lifetime(LifetimeConfig(seed=7), C4D_OPERATIONS)
+    total = breakdown.fraction(breakdown.total_seconds)
+    # Paper (December 2023): 1.16%.
+    assert total < 0.03
+
+
+def test_c4d_reduction_factor():
+    cfg = LifetimeConfig(seed=3)
+    before = simulate_lifetime(cfg, BASELINE_OPERATIONS).total_seconds
+    after = simulate_lifetime(cfg, C4D_OPERATIONS).total_seconds
+    # Paper reports ~30x; accept an order-of-magnitude band.
+    assert 10 < before / after < 100
+
+
+def test_diagnosis_dominates_baseline():
+    breakdown = simulate_lifetime(LifetimeConfig(seed=5), BASELINE_OPERATIONS)
+    assert breakdown.diagnosis_seconds > breakdown.post_checkpoint_seconds
+    assert breakdown.post_checkpoint_seconds > breakdown.detection_seconds
+    assert breakdown.detection_seconds > breakdown.reinit_seconds
+
+
+def test_crash_counts_scale_with_error_rate():
+    cfg = LifetimeConfig(seed=1)
+    before = simulate_lifetime(cfg, BASELINE_OPERATIONS)
+    after = simulate_lifetime(cfg, C4D_OPERATIONS)
+    assert after.crash_count < before.crash_count
+
+
+def test_deterministic_given_seed():
+    cfg = LifetimeConfig(seed=9)
+    a = simulate_lifetime(cfg, BASELINE_OPERATIONS)
+    b = simulate_lifetime(cfg, BASELINE_OPERATIONS)
+    assert a.total_seconds == b.total_seconds
+
+
+def test_bucket_breakdown_sums_to_diagnosis():
+    breakdown = simulate_lifetime(LifetimeConfig(seed=2), BASELINE_OPERATIONS)
+    assert sum(breakdown.diagnosis_by_bucket.values()) == pytest.approx(
+        breakdown.diagnosis_seconds
+    )
+
+
+def test_gpu_buckets_dominate_baseline_diagnosis():
+    # Table III: ECC/NVLink + CUDA are ~2/3 of diagnosis overhead.
+    breakdown = simulate_lifetime(
+        LifetimeConfig(seed=4, duration_seconds=120 * 24 * 3600.0), BASELINE_OPERATIONS
+    )
+    gpu = breakdown.diagnosis_by_bucket.get(
+        CauseBucket.ECC_NVLINK, 0.0
+    ) + breakdown.diagnosis_by_bucket.get(CauseBucket.CUDA_ERROR, 0.0)
+    assert gpu / breakdown.diagnosis_seconds > 0.3
+
+
+def test_as_table_keys():
+    breakdown = simulate_lifetime(LifetimeConfig(seed=0), BASELINE_OPERATIONS)
+    table = breakdown.as_table()
+    for key in ("Post-Checkpoint", "Detection", "Diagnosis & Isolation",
+                "Re-Initialization", "Total"):
+        assert key in table
+
+
+def test_coverage_validation():
+    with pytest.raises(ValueError):
+        OperationsModel(
+            name="bad", auto_detection=1, auto_diagnosis=1, manual_detection=1,
+            manual_diagnosis=1, reinit=1,
+            checkpoints=BASELINE_OPERATIONS.checkpoints, coverage=1.5,
+        )
+
+
+def test_partial_coverage_between_extremes():
+    cfg = LifetimeConfig(seed=11)
+    half = OperationsModel(
+        name="half",
+        auto_detection=C4D_OPERATIONS.auto_detection,
+        auto_diagnosis=C4D_OPERATIONS.auto_diagnosis,
+        manual_detection=C4D_OPERATIONS.manual_detection,
+        manual_diagnosis=C4D_OPERATIONS.manual_diagnosis,
+        reinit=C4D_OPERATIONS.reinit,
+        checkpoints=C4D_OPERATIONS.checkpoints,
+        coverage=0.5,
+        error_rate_scale=C4D_OPERATIONS.error_rate_scale,
+    )
+    full = simulate_lifetime(cfg, C4D_OPERATIONS).diagnosis_seconds
+    partial = simulate_lifetime(cfg, half).diagnosis_seconds
+    assert partial >= full

@@ -1,0 +1,58 @@
+"""Tests for model configs and the compute model."""
+
+import pytest
+
+from repro.training.models import (
+    GPT_175B,
+    GPT_22B,
+    LLAMA_13B,
+    LLAMA_7B,
+    ModelConfig,
+    compute_seconds,
+)
+
+
+def test_paper_models_present():
+    assert GPT_22B.params == pytest.approx(22e9)
+    assert GPT_175B.params == pytest.approx(175e9)
+    assert LLAMA_7B.params == pytest.approx(7e9)
+    assert LLAMA_13B.params == pytest.approx(13e9)
+
+
+def test_flops_per_sample():
+    model = ModelConfig(name="m", params=1e9, seq_len=1000)
+    assert model.flops_per_sample == pytest.approx(6e12)
+
+
+def test_grad_bits_full_model():
+    model = ModelConfig(name="m", params=1e9, seq_len=1, grad_bytes_per_param=2.0)
+    assert model.grad_bits() == pytest.approx(16e9)
+
+
+def test_grad_bits_sharded():
+    model = ModelConfig(name="m", params=1e9, seq_len=1)
+    assert model.grad_bits(0.125) == pytest.approx(model.grad_bits() / 8)
+
+
+def test_grad_bits_validates_fraction():
+    with pytest.raises(ValueError):
+        GPT_22B.grad_bits(0.0)
+
+
+def test_compute_seconds_scales_inverse_with_gpus():
+    t1 = compute_seconds(GPT_22B, 64, 64)
+    t2 = compute_seconds(GPT_22B, 64, 128)
+    assert t2 == pytest.approx(t1 / 2)
+
+
+def test_compute_seconds_scales_with_samples():
+    t1 = compute_seconds(GPT_22B, 32, 64)
+    t2 = compute_seconds(GPT_22B, 64, 64)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_compute_seconds_validates():
+    with pytest.raises(ValueError):
+        compute_seconds(GPT_22B, 1, 0)
+    with pytest.raises(ValueError):
+        compute_seconds(GPT_22B, 0, 1)

@@ -1,0 +1,79 @@
+"""Tests for the experiment runners and the CLI plumbing.
+
+The heavy experiments are exercised by ``benchmarks/``; here we check
+the runner/result/formatting machinery on the fast ones and the CLI's
+dispatch logic.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS, fig7, table1, table3
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "table3", "fig3", "fig7", "fig9",
+        "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14",
+        "ablations",
+    }
+    for module, description in EXPERIMENTS.values():
+        assert callable(module.run)
+        assert callable(module.format_result)
+        assert description
+
+
+def test_table1_runner_result_shape():
+    result = table1.run(months=6, seed=1)
+    assert len(result.rows) == 5
+    assert 0.9 < sum(r.proportion for r in result.rows) <= 1.0 + 1e-9
+    assert 0 < result.local_fraction < 1
+    text = table1.format_result(result)
+    assert "NCCL Error" in text and "82.5%" in text
+
+
+def test_table3_runner_result_shape():
+    result = table3.run(seed=3)
+    assert result.total_before > result.total_after
+    assert result.reduction_factor > 1
+    text = table3.format_result(result)
+    assert "paper Jun" in text and "Total" in text
+
+
+def test_fig7_runner_localizes():
+    result = fig7.run(victim_node=2, victim_nic=1, ops=4)
+    assert result.localized
+    text = fig7.format_result(result)
+    assert "localized" in text
+
+
+def test_fig7_heatmap_renders():
+    result = fig7.run(ops=3)
+    heatmap = fig7.render_heatmap(result.matrix)
+    lines = heatmap.splitlines()
+    # Header + one row per worker.
+    assert len(lines) == len(result.matrix.workers) + 1
+    assert "." in heatmap  # unobserved pairs
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_run_table3(capsys):
+    assert main(["run", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+
+
+def test_cli_run_with_seed(capsys):
+    assert main(["run", "table1", "--seed", "9"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err

@@ -14,6 +14,7 @@ from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.chaos.scorecard import CampaignScorecard, ScenarioScorecard
 from repro.collective.monitoring import MessageRecord, OpRecord
 from repro.training.lifetime import DowntimeBreakdown
 
@@ -73,6 +74,54 @@ def downtime_to_dict(breakdown: DowntimeBreakdown) -> dict:
             bucket.value: seconds
             for bucket, seconds in breakdown.diagnosis_by_bucket.items()
         },
+    }
+
+
+def scenario_scorecard_to_dict(card: ScenarioScorecard) -> dict:
+    """Serialize one chaos scenario's score, including derived metrics."""
+    return {
+        "name": card.name,
+        "seed": card.seed,
+        "kind": card.kind,
+        "precision": card.precision,
+        "recall": card.recall,
+        "true_actions": card.true_actions,
+        "false_actions": card.false_actions,
+        "false_isolations": card.false_isolations,
+        "isolation_storms": card.isolation_storms,
+        "wasted_backups": card.wasted_backups,
+        "pool_exhaustions": card.pool_exhaustions,
+        "steps_completed": card.steps_completed,
+        "relaunches": card.relaunches,
+        "restore_fallbacks": card.restore_fallbacks,
+        "completed": card.completed,
+        "channel": dict(card.channel),
+        "episodes": [
+            {
+                "episode_id": outcome.episode_id,
+                "kind": outcome.kind,
+                "nodes": list(outcome.nodes),
+                "onset": outcome.onset,
+                "detected": outcome.detected,
+                "detected_at": outcome.detected_at,
+                "mttr_seconds": outcome.mttr_seconds,
+                "storm_nodes": list(outcome.storm_nodes),
+            }
+            for outcome in card.episodes
+        ],
+    }
+
+
+def campaign_scorecard_to_dict(card: CampaignScorecard) -> dict:
+    """Serialize a full chaos campaign scorecard (the ``repro chaos`` payload)."""
+    return {
+        "precision": card.precision,
+        "recall": card.recall,
+        "false_isolations": card.false_isolations,
+        "isolation_storms": card.isolation_storms,
+        "wasted_backups": card.wasted_backups,
+        "mttr": card.mttr_stats(),
+        "scenarios": [scenario_scorecard_to_dict(s) for s in card.scenarios],
     }
 
 

@@ -1,0 +1,52 @@
+"""Chaos harness: adversarial fault campaigns against the C4 pipeline.
+
+The package turns the repo's detect→steer→recover stack into a system
+under test: scenarios inject flapping faults, correlated cascades, hard
+crashes, lossy telemetry, failing steering actions and corrupted
+checkpoints — and the campaign scores what the pipeline actually did
+against the injected ground truth.
+"""
+
+from repro.chaos.campaign import ChaosCampaign
+from repro.chaos.scenario import (
+    HARDENED_DETECTORS,
+    ChaosScenario,
+    Episode,
+    ScenarioKind,
+    cascade_scenario,
+    checkpoint_corruption_scenario,
+    crash_under_loss_scenario,
+    default_campaign,
+    episodes_from_faults,
+    flapping_scenario,
+)
+from repro.chaos.scorecard import (
+    DEFAULT_GRACE,
+    CampaignScorecard,
+    EpisodeOutcome,
+    ScenarioScorecard,
+    score_pipeline_scenario,
+    score_recovery_scenario,
+)
+from repro.chaos.workload import SyntheticFeed
+
+__all__ = [
+    "ChaosCampaign",
+    "ChaosScenario",
+    "ScenarioKind",
+    "Episode",
+    "EpisodeOutcome",
+    "CampaignScorecard",
+    "ScenarioScorecard",
+    "SyntheticFeed",
+    "HARDENED_DETECTORS",
+    "DEFAULT_GRACE",
+    "default_campaign",
+    "flapping_scenario",
+    "cascade_scenario",
+    "crash_under_loss_scenario",
+    "checkpoint_corruption_scenario",
+    "episodes_from_faults",
+    "score_pipeline_scenario",
+    "score_recovery_scenario",
+]

@@ -1,0 +1,332 @@
+"""Campaign scoring: pipeline output judged against injected ground truth.
+
+The chaos harness knows exactly which faults it injected (the scenario's
+:class:`~repro.chaos.scenario.Episode` list) and observes exactly what
+the pipeline did (the steering service's actions, the recovery
+orchestrator's events).  The scorecard joins the two:
+
+* an action is **true** when at least one node it targeted belongs to an
+  episode active at detection time (stretched by a grace window — a
+  flapping window may close while the debounce is still counting);
+* an action is **false** otherwise, and each node it isolated counts as
+  a false isolation (healthy capacity destroyed by ghost telemetry);
+* an **isolation storm** is the same (episode, node) pair isolated more
+  than once — the failure mode hysteresis exists to prevent;
+* **MTTR** is fault onset to the job running again (``ready_at`` of the
+  first matching action);
+* **wasted backups** are spares consumed without curing a real fault:
+  dead-on-arrival replacements plus replacements issued by false
+  actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.chaos.scenario import ChaosScenario, Episode
+from repro.core.c4d.steering import SteeringAction
+from repro.training.recovery import RecoveryReport
+
+#: Seconds past an episode window's end during which a detection still
+#: counts as true.  Debounce, evaluation cadence and telemetry latency
+#: all sit between fault onset and action; a flapping window can close
+#: in the meantime without making the (correct) detection a ghost.
+DEFAULT_GRACE = 240.0
+
+
+@dataclass(frozen=True)
+class EpisodeOutcome:
+    """How the pipeline handled one ground-truth episode."""
+
+    episode_id: str
+    kind: str
+    nodes: tuple[int, ...]
+    onset: float
+    detected: bool
+    #: Detection time of the first matching action (None when missed).
+    detected_at: Optional[float] = None
+    #: Onset → job-running-again of the first matching action.
+    mttr_seconds: Optional[float] = None
+    #: Isolations per node of this episode (storm when any exceeds 1).
+    isolations_per_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def storm_nodes(self) -> tuple[int, ...]:
+        """Nodes of this episode isolated more than once."""
+        return tuple(
+            sorted(n for n, count in self.isolations_per_node.items() if count > 1)
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioScorecard:
+    """One scenario's score."""
+
+    name: str
+    seed: int
+    kind: str
+    episodes: tuple[EpisodeOutcome, ...]
+    #: Steering actions judged true / false.
+    true_actions: int
+    false_actions: int
+    #: Nodes isolated by false actions (healthy capacity destroyed).
+    false_isolations: int
+    #: (episode, node) pairs isolated more than once.
+    isolation_storms: int
+    #: Spares consumed without curing a real fault (DOA + false actions).
+    wasted_backups: int
+    #: Actions that found the backup pool empty.
+    pool_exhaustions: int
+    #: Telemetry channel counters (empty for a perfect channel).
+    channel: dict = field(default_factory=dict)
+    #: Workload progress (pipeline scenarios).
+    steps_completed: int = 0
+    relaunches: int = 0
+    #: Corrupted snapshots skipped during restore (recovery scenarios).
+    restore_fallbacks: int = 0
+    #: RECOVERY kind: the run finished despite the injected damage.
+    completed: bool = True
+
+    @property
+    def precision(self) -> float:
+        """True actions over all actions (1.0 when no action was taken)."""
+        total = self.true_actions + self.false_actions
+        return self.true_actions / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Detected episodes over all episodes (1.0 when none injected)."""
+        if not self.episodes:
+            return 1.0
+        return sum(1 for e in self.episodes if e.detected) / len(self.episodes)
+
+    @property
+    def mttr_values(self) -> tuple[float, ...]:
+        """MTTR samples of the detected episodes."""
+        return tuple(
+            e.mttr_seconds for e in self.episodes if e.mttr_seconds is not None
+        )
+
+
+@dataclass(frozen=True)
+class CampaignScorecard:
+    """Aggregate over every scenario of a campaign."""
+
+    scenarios: tuple[ScenarioScorecard, ...]
+
+    @property
+    def precision(self) -> float:
+        """Micro-averaged action precision across scenarios."""
+        true = sum(s.true_actions for s in self.scenarios)
+        false = sum(s.false_actions for s in self.scenarios)
+        total = true + false
+        return true / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Micro-averaged episode recall across scenarios."""
+        episodes = [e for s in self.scenarios for e in s.episodes]
+        if not episodes:
+            return 1.0
+        return sum(1 for e in episodes if e.detected) / len(episodes)
+
+    @property
+    def false_isolations(self) -> int:
+        """Healthy nodes isolated across the whole campaign."""
+        return sum(s.false_isolations for s in self.scenarios)
+
+    @property
+    def isolation_storms(self) -> int:
+        """(episode, node) pairs isolated more than once, campaign-wide."""
+        return sum(s.isolation_storms for s in self.scenarios)
+
+    @property
+    def wasted_backups(self) -> int:
+        """Spares consumed without curing a real fault, campaign-wide."""
+        return sum(s.wasted_backups for s in self.scenarios)
+
+    @property
+    def mttr_values(self) -> tuple[float, ...]:
+        """All MTTR samples across scenarios."""
+        return tuple(v for s in self.scenarios for v in s.mttr_values)
+
+    def mttr_stats(self) -> dict:
+        """Min/median/mean/max of the MTTR distribution."""
+        values = sorted(self.mttr_values)
+        if not values:
+            return {"count": 0}
+        mid = len(values) // 2
+        median = (
+            values[mid]
+            if len(values) % 2
+            else (values[mid - 1] + values[mid]) / 2.0
+        )
+        return {
+            "count": len(values),
+            "min": values[0],
+            "median": median,
+            "mean": sum(values) / len(values),
+            "max": values[-1],
+        }
+
+
+def _action_targets(action: SteeringAction) -> set[int]:
+    """Every node an action accused: isolated, failed, or suspected."""
+    targets = set(action.isolated_nodes) | set(action.failed_isolations)
+    targets.update(n for n in action.anomaly.suspect_nodes)
+    return targets
+
+
+def _matching_episodes(
+    action: SteeringAction, episodes: Sequence[Episode], grace: float
+) -> list[Episode]:
+    """Episodes an action correctly responded to."""
+    when = action.anomaly.detected_at
+    targets = _action_targets(action)
+    return [
+        episode
+        for episode in episodes
+        if episode.active_at(when, grace=grace)
+        and targets.intersection(episode.nodes)
+    ]
+
+
+def score_pipeline_scenario(
+    scenario: ChaosScenario,
+    actions: Sequence[SteeringAction],
+    channel_stats: Optional[dict] = None,
+    steps_completed: int = 0,
+    relaunches: int = 0,
+    grace: float = DEFAULT_GRACE,
+) -> ScenarioScorecard:
+    """Judge one pipeline run's steering actions against ground truth."""
+    episodes = scenario.episodes
+    first_match: dict[str, SteeringAction] = {}
+    isolations: dict[str, dict[int, int]] = {e.episode_id: {} for e in episodes}
+    true_actions = 0
+    false_actions = 0
+    false_isolations = 0
+    wasted = 0
+    pool_exhaustions = 0
+    for action in actions:
+        pool_exhaustions += int(action.pool_exhausted)
+        wasted += len(action.doa_replacements)
+        matched = _matching_episodes(action, episodes, grace)
+        if matched:
+            true_actions += 1
+            for episode in matched:
+                first_match.setdefault(episode.episode_id, action)
+                counts = isolations[episode.episode_id]
+                for node in action.isolated_nodes:
+                    if episode.covers_node(node):
+                        counts[node] = counts.get(node, 0) + 1
+        else:
+            false_actions += 1
+            false_isolations += len(action.isolated_nodes)
+            wasted += len(action.replacement_nodes)
+    outcomes = []
+    for episode in episodes:
+        action = first_match.get(episode.episode_id)
+        outcomes.append(
+            EpisodeOutcome(
+                episode_id=episode.episode_id,
+                kind=episode.kind,
+                nodes=episode.nodes,
+                onset=episode.onset,
+                detected=action is not None,
+                detected_at=action.anomaly.detected_at if action else None,
+                mttr_seconds=(action.ready_at - episode.onset) if action else None,
+                isolations_per_node=dict(isolations[episode.episode_id]),
+            )
+        )
+    storms = sum(len(o.storm_nodes) for o in outcomes)
+    return ScenarioScorecard(
+        name=scenario.name,
+        seed=scenario.seed,
+        kind=scenario.kind.value,
+        episodes=tuple(outcomes),
+        true_actions=true_actions,
+        false_actions=false_actions,
+        false_isolations=false_isolations,
+        isolation_storms=storms,
+        wasted_backups=wasted,
+        pool_exhaustions=pool_exhaustions,
+        channel=dict(channel_stats or {}),
+        steps_completed=steps_completed,
+        relaunches=relaunches,
+    )
+
+
+def score_recovery_scenario(
+    scenario: ChaosScenario,
+    report: RecoveryReport,
+    grace: float = DEFAULT_GRACE,
+) -> ScenarioScorecard:
+    """Judge one recovery run's events against ground truth."""
+    episodes = scenario.episodes
+    first_match: dict[str, tuple[float, float]] = {}  # id -> (detected, resumed)
+    isolations: dict[str, dict[int, int]] = {e.episode_id: {} for e in episodes}
+    true_actions = 0
+    false_actions = 0
+    false_isolations = 0
+    wasted = 0
+    pool_exhaustions = 0
+    restore_fallbacks = 0
+    for event in report.events:
+        pool_exhaustions += int(event.pool_exhausted)
+        wasted += len(event.doa_replacements)
+        restore_fallbacks += event.restore_fallbacks
+        targets = set(event.isolated_nodes)
+        matched = [
+            episode
+            for episode in episodes
+            if episode.active_at(event.detected_at, grace=grace)
+            and targets.intersection(episode.nodes)
+        ]
+        if matched:
+            true_actions += 1
+            for episode in matched:
+                first_match.setdefault(
+                    episode.episode_id, (event.detected_at, event.resumed_at)
+                )
+                counts = isolations[episode.episode_id]
+                for node in event.isolated_nodes:
+                    if episode.covers_node(node):
+                        counts[node] = counts.get(node, 0) + 1
+        else:
+            false_actions += 1
+            false_isolations += len(event.isolated_nodes)
+            wasted += len(event.replacement_nodes)
+    outcomes = []
+    for episode in episodes:
+        match = first_match.get(episode.episode_id)
+        outcomes.append(
+            EpisodeOutcome(
+                episode_id=episode.episode_id,
+                kind=episode.kind,
+                nodes=episode.nodes,
+                onset=episode.onset,
+                detected=match is not None,
+                detected_at=match[0] if match else None,
+                mttr_seconds=(match[1] - episode.onset) if match else None,
+                isolations_per_node=dict(isolations[episode.episode_id]),
+            )
+        )
+    storms = sum(len(o.storm_nodes) for o in outcomes)
+    return ScenarioScorecard(
+        name=scenario.name,
+        seed=scenario.seed,
+        kind=scenario.kind.value,
+        episodes=tuple(outcomes),
+        true_actions=true_actions,
+        false_actions=false_actions,
+        false_isolations=false_isolations,
+        isolation_storms=storms,
+        wasted_backups=wasted,
+        pool_exhaustions=pool_exhaustions,
+        steps_completed=report.completed_steps,
+        relaunches=len(report.events),
+        restore_fallbacks=restore_fallbacks,
+        completed=report.finished,
+    )

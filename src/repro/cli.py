@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig9
     python -m repro run table3 --seed 11
     python -m repro run all
+    python -m repro chaos --seed 7 --json scorecard.json
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for the recorded paper-vs-measured comparison.
@@ -38,6 +39,43 @@ def _run_one(name: str, seed: int | None) -> None:
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
 
 
+def _run_chaos(seed: int, json_path: str | None) -> int:
+    """Run the default chaos campaign and print/export the scorecard."""
+    # Imported lazily: the chaos stack is not needed for 'list'/'run'.
+    from repro.analysis.export import campaign_scorecard_to_dict, write_json
+    from repro.chaos import ChaosCampaign
+
+    started = time.time()
+    campaign = ChaosCampaign(seed=seed)
+    print(f"--- chaos: {len(campaign.scenarios)} adversarial scenarios, seed {seed} ---")
+    card = campaign.run()
+    for scenario in card.scenarios:
+        mttr = ", ".join(f"{v:.0f}s" for v in scenario.mttr_values) or "-"
+        print(
+            f"{scenario.name:24s} precision={scenario.precision:.2f} "
+            f"recall={scenario.recall:.2f} storms={scenario.isolation_storms} "
+            f"false_isolations={scenario.false_isolations} "
+            f"wasted_backups={scenario.wasted_backups} mttr=[{mttr}]"
+        )
+    stats = card.mttr_stats()
+    print(
+        f"campaign: precision={card.precision:.2f} recall={card.recall:.2f} "
+        f"storms={card.isolation_storms} false_isolations={card.false_isolations} "
+        f"wasted_backups={card.wasted_backups}"
+    )
+    if stats["count"]:
+        print(
+            f"MTTR: n={stats['count']} min={stats['min']:.0f}s "
+            f"median={stats['median']:.0f}s mean={stats['mean']:.0f}s "
+            f"max={stats['max']:.0f}s"
+        )
+    if json_path:
+        write_json(json_path, campaign_scorecard_to_dict(card))
+        print(f"scorecard written to {json_path}")
+    print(f"[chaos finished in {time.time() - started:.1f}s]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -51,7 +89,19 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the experiment's seed"
     )
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run the adversarial chaos campaign and print the scorecard"
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for the scenario suite"
+    )
+    chaos_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the scorecard as JSON"
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "chaos":
+        return _run_chaos(args.seed, args.json)
 
     if args.command == "list":
         for name, (_module, description) in EXPERIMENTS.items():

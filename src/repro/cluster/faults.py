@@ -13,6 +13,16 @@ Two kinds of faults are modelled:
 * **degradations** — slow GPUs / NIC ports / hosts and link failures;
   consumed by the runtime experiments (Figs. 7, 12, 13) and by C4D's
   slow-detection tests.
+
+On top of those, the chaos harness (:mod:`repro.chaos`) draws three
+adversarial families that production diagnosis systems must survive:
+
+* **flapping faults** — transient degradations that self-heal and recur
+  in on/off windows (a marginal optic, a thermally throttling GPU);
+* **correlated cascades** — one shared-infrastructure failure (a ToR /
+  leaf switch, a power shelf) degrading every node under it at once;
+* **checkpoint corruption** — a saved snapshot silently damaged, so
+  recovery must fall back to an older valid one.
 """
 
 from __future__ import annotations
@@ -39,6 +49,10 @@ class FaultType(enum.Enum):
     SLOW_NIC_PORT = "slow_nic_port"
     SLOW_HOST = "slow_host"
     LINK_FAILURE = "link_failure"
+    # Adversarial families (chaos harness):
+    FLAPPING_HOST = "flapping_host"
+    TOR_CASCADE = "tor_cascade"
+    CHECKPOINT_CORRUPTION = "checkpoint_corruption"
 
 
 class FaultClass(enum.Enum):
@@ -83,11 +97,32 @@ class FaultEvent:
     is_local: bool
     component: Optional[int] = None
     device: Optional[int] = None
+    #: Active window of a transient fault; ``None`` means permanent
+    #: (until repair).  A flapping episode is several events sharing an
+    #: ``episode_id``, each with its own active window.
+    duration: Optional[float] = None
+    #: Groups the recurrences of one flapping fault.
+    episode_id: Optional[int] = None
+    #: Groups the correlated victims of one cascade (e.g. a ToR dying).
+    cascade_id: Optional[int] = None
 
     @property
     def user_view(self) -> str:
         """What the job logs show for this fault."""
         return USER_VIEW.get(self.fault_type, "NCCL Error")
+
+    @property
+    def end_time(self) -> Optional[float]:
+        """When a transient fault clears (None for permanent faults)."""
+        if self.duration is None:
+            return None
+        return self.time + self.duration
+
+    def active_at(self, now: float) -> bool:
+        """True while the fault is degrading its component."""
+        if now < self.time:
+            return False
+        return self.duration is None or now < self.time + self.duration
 
 
 @dataclass(frozen=True)
@@ -162,6 +197,123 @@ class FaultInjector:
                 )
             )
         return events
+
+    # ------------------------------------------------------------------
+    # Adversarial faults (chaos harness)
+    # ------------------------------------------------------------------
+    def sample_flapping(
+        self,
+        duration_seconds: float,
+        num_nodes: int,
+        episodes: int,
+        mean_active_seconds: float = 120.0,
+        mean_quiet_seconds: float = 60.0,
+        max_recurrences: int = 4,
+    ) -> list[FaultEvent]:
+        """Sample flapping host degradations: active/quiet windows that recur.
+
+        Each episode picks one victim node and alternates exponentially
+        distributed active windows (the node is slow) with quiet windows
+        (it looks healthy), up to ``max_recurrences`` active windows or
+        the end of the horizon.  All recurrences of an episode share an
+        ``episode_id``; events are returned sorted by onset time.
+        """
+        if duration_seconds <= 0 or num_nodes <= 0:
+            raise ValueError("duration and node count must be positive")
+        if episodes < 0 or max_recurrences < 1:
+            raise ValueError("episodes must be >= 0 and max_recurrences >= 1")
+        events: list[FaultEvent] = []
+        for episode_id in range(episodes):
+            node = int(self._rng.integers(num_nodes))
+            onset = float(self._rng.uniform(0.0, duration_seconds * 0.5))
+            for _ in range(max_recurrences):
+                if onset >= duration_seconds:
+                    break
+                active = float(self._rng.exponential(mean_active_seconds))
+                active = min(active, duration_seconds - onset)
+                if active <= 0:
+                    break
+                events.append(
+                    FaultEvent(
+                        time=onset,
+                        fault_type=FaultType.FLAPPING_HOST,
+                        fault_class=FaultClass.DEGRADE,
+                        is_local=True,
+                        component=node,
+                        duration=active,
+                        episode_id=episode_id,
+                    )
+                )
+                onset += active + float(self._rng.exponential(mean_quiet_seconds))
+        events.sort(key=lambda e: (e.time, e.episode_id or 0))
+        return events
+
+    def sample_cascades(
+        self,
+        duration_seconds: float,
+        num_nodes: int,
+        cascades: int,
+        group_size: int = 4,
+        mean_active_seconds: float = 300.0,
+    ) -> list[FaultEvent]:
+        """Sample correlated cascades: a shared ToR degrading a node group.
+
+        Each cascade picks a contiguous run of ``group_size`` nodes (the
+        rack under one ToR) and degrades all of them over the same
+        window.  Victim events share a ``cascade_id`` so scoring can
+        credit one detection per cascade rather than per node.
+        """
+        if duration_seconds <= 0 or num_nodes <= 0:
+            raise ValueError("duration and node count must be positive")
+        if group_size < 1 or group_size > num_nodes:
+            raise ValueError("group_size must be in [1, num_nodes]")
+        events: list[FaultEvent] = []
+        for cascade_id in range(cascades):
+            first = int(self._rng.integers(num_nodes - group_size + 1))
+            onset = float(self._rng.uniform(0.0, duration_seconds * 0.5))
+            active = float(self._rng.exponential(mean_active_seconds))
+            active = min(max(active, 1.0), duration_seconds - onset)
+            for node in range(first, first + group_size):
+                events.append(
+                    FaultEvent(
+                        time=onset,
+                        fault_type=FaultType.TOR_CASCADE,
+                        fault_class=FaultClass.DEGRADE,
+                        is_local=True,
+                        component=node,
+                        duration=active,
+                        cascade_id=cascade_id,
+                    )
+                )
+        events.sort(key=lambda e: (e.time, e.component or 0))
+        return events
+
+    def sample_checkpoint_corruptions(
+        self,
+        duration_seconds: float,
+        expected_events: float = 1.0,
+    ) -> list[FaultEvent]:
+        """Poisson-sample checkpoint-corruption events over a window.
+
+        Each event marks one point in time at which the newest snapshot
+        on disk/host memory is silently damaged; the recovery pipeline
+        must detect this at restore time and fall back to an older one.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if expected_events < 0:
+            raise ValueError("expected_events must be non-negative")
+        count = int(self._rng.poisson(expected_events))
+        times = np.sort(self._rng.uniform(0.0, duration_seconds, size=count))
+        return [
+            FaultEvent(
+                time=float(t),
+                fault_type=FaultType.CHECKPOINT_CORRUPTION,
+                fault_class=FaultClass.DEGRADE,
+                is_local=False,
+            )
+            for t in times
+        ]
 
     # ------------------------------------------------------------------
     # Degradations (runtime-slowdown experiments)

@@ -48,6 +48,23 @@ class DetectorConfig:
         persistent per-operation straggler.  This is the paper's §V
         mitigation for expert-parallel load imbalance: random variation
         averages out, systemic slowness does not.
+    debounce_evaluations:
+        Consecutive master evaluations an identical anomaly must survive
+        before it is reported/acted on.  1 (default) acts immediately;
+        higher values filter transients caused by late telemetry — a
+        record delayed past one evaluation arrives before the next, the
+        suspect set changes, and the debounce counter resets.
+    node_action_cooldown:
+        Hysteresis on steering: after the master acts on a node, further
+        anomalies implicating that node are suppressed for this many
+        seconds.  Prevents isolation storms when a flapping fault keeps
+        re-crossing the detection threshold.
+    slow_hysteresis:
+        Communication-slow threshold hysteresis in (0, 1].  Once a
+        communicator is flagged slow, it stays flagged until its worst
+        ratio drops below ``slow_threshold * slow_hysteresis`` — a
+        flapping link hovering at the threshold cannot toggle the
+        detector every window.  1.0 disables hysteresis.
     """
 
     hang_timeout: float = 30.0
@@ -58,6 +75,9 @@ class DetectorConfig:
     wait_relative_threshold: float = 3.0
     min_ops_for_slow: int = 2
     smooth_window_ops: int = 0
+    debounce_evaluations: int = 1
+    node_action_cooldown: float = 0.0
+    slow_hysteresis: float = 1.0
 
 
 class HangDetector:
@@ -121,11 +141,25 @@ class HangDetector:
 
 
 class CommSlowDetector:
-    """Detects communication slowdowns via the delay matrix (Fig. 7)."""
+    """Detects communication slowdowns via the delay matrix (Fig. 7).
+
+    With ``slow_hysteresis`` < 1 the detector is stateful: a flagged
+    communicator keeps being analyzed against the lowered threshold
+    until it genuinely clears, so a ratio hovering right at the
+    threshold cannot produce an on/off anomaly stream.
+    """
 
     def __init__(self, collector: CentralCollector, config: DetectorConfig) -> None:
         self.collector = collector
         self.config = config
+        #: Communicators currently inside a slow episode (hysteresis).
+        self._active: set[str] = set()
+
+    def _threshold_for(self, comm_id: str) -> float:
+        threshold = self.config.slow_threshold
+        if comm_id in self._active:
+            threshold *= self.config.slow_hysteresis
+        return threshold
 
     def evaluate(self, now: float) -> list[Anomaly]:
         """Analyze each communicator's recent transport records."""
@@ -141,11 +175,13 @@ class CommSlowDetector:
             matrix = build_delay_matrix(records)
             finding = analyze_delay_matrix(
                 matrix,
-                threshold=self.config.slow_threshold,
+                threshold=self._threshold_for(comm_id),
                 row_fraction=self.config.row_fraction,
             )
             if not finding.is_anomalous or not finding.suspects:
+                self._active.discard(comm_id)
                 continue
+            self._active.add(comm_id)
             anomalies.append(
                 Anomaly(
                     anomaly_type=AnomalyType.COMM_SLOW,

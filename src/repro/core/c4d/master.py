@@ -39,6 +39,19 @@ class C4DMaster:
     cooldown:
         Seconds during which an identical (type, comm, suspects) anomaly
         is not re-reported — detection is continuous, action is not.
+
+    Two robustness gates (configured via :class:`DetectorConfig`) sit in
+    front of reporting:
+
+    * **debounce** — an anomaly must be observed in
+      ``debounce_evaluations`` *consecutive* evaluations before it
+      passes.  Late telemetry produces one-evaluation ghosts (a launch
+      record in flight looks like a missing rank); genuine faults
+      persist.
+    * **node-action hysteresis** — after steering acts on a node,
+      anomalies implicating it are suppressed for
+      ``node_action_cooldown`` seconds, so a flapping fault cannot
+      drive repeated isolations of the same episode.
     """
 
     def __init__(
@@ -62,19 +75,52 @@ class C4DMaster:
         self.anomalies: list[Anomaly] = []
         self.actions: list[SteeringAction] = []
         self._last_reported: dict[tuple, float] = {}
+        #: Debounce state: anomaly key -> (consecutive count, eval index
+        #: of the last sighting).
+        self._pending: dict[tuple, tuple[int, int]] = {}
+        self._eval_index = 0
+        #: Node -> time of the last steering action implicating it.
+        self._node_last_action: dict[int, float] = {}
+
+    def _debounced(self, key: tuple) -> bool:
+        """Count a sighting; True once it persisted long enough."""
+        required = self.config.debounce_evaluations
+        if required <= 1:
+            return True
+        count, last_eval = self._pending.get(key, (0, -2))
+        count = count + 1 if last_eval == self._eval_index - 1 else 1
+        self._pending[key] = (count, self._eval_index)
+        return count >= required
+
+    def _node_in_cooldown(self, anomaly: Anomaly, now: float) -> bool:
+        """Hysteresis: every implicated node was recently acted on."""
+        if self.config.node_action_cooldown <= 0:
+            return False
+        nodes = anomaly.suspect_nodes
+        if not nodes:
+            return False
+        return all(
+            now - self._node_last_action.get(node, float("-inf"))
+            < self.config.node_action_cooldown
+            for node in nodes
+        )
 
     def evaluate(self, now: float) -> list[Anomaly]:
         """Run all detectors; act on and return fresh anomalies."""
+        self._eval_index += 1
         fresh: list[Anomaly] = []
         for detector in self.detectors:
             for anomaly in detector.evaluate(now):
                 key = (anomaly.anomaly_type, anomaly.comm_id, anomaly.suspects)
+                if not self._debounced(key):
+                    continue
                 last = self._last_reported.get(key)
                 if last is not None and now - last < self.cooldown:
                     continue
                 self._last_reported[key] = now
                 fresh.append(anomaly)
         fresh = self._aggregate_by_node(fresh, now)
+        fresh = [a for a in fresh if not self._node_in_cooldown(a, now)]
         for anomaly in fresh:
             self.anomalies.append(anomaly)
             if self.rca is not None:
@@ -85,6 +131,8 @@ class C4DMaster:
                 AnomalyType.COMM_SLOW,
                 AnomalyType.NONCOMM_SLOW,
             ):
+                for node in anomaly.suspect_nodes:
+                    self._node_last_action[node] = now
                 self.actions.append(self.steering.handle(anomaly, now))
         return fresh
 

@@ -8,28 +8,97 @@ recent valid checkpoint.  The action latencies are explicit parameters
 because they are exactly the downtime components Table III accounts:
 detection is C4D's tens of seconds, isolation and restart are the
 steering service's minutes.
+
+The hardened service (chaos harness) additionally survives the steering
+actions themselves misbehaving: an isolation RPC can time out and is
+retried with capped exponential backoff, a replacement drawn from the
+backup pool can be dead on arrival (the next spare is drawn and the
+waste is recorded), and backup-pool exhaustion is surfaced as a
+structured field on the action instead of the silent
+replacements-shorter-than-isolations convention.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.c4d.events import Anomaly
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class SteeringConfig:
-    """Latencies of the automated recovery pipeline, in seconds.
+    """Latencies and retry policy of the automated recovery pipeline.
 
     Defaults follow §IV-B: C4D cuts detection+localization "to mere tens
     of seconds", while "additional minutes are still required by the
     steering service to isolate the affected nodes and restart the job".
+
+    Attributes
+    ----------
+    isolation_seconds / restart_seconds:
+        Happy-path action latencies.
+    max_isolation_attempts:
+        Tries per node before the isolation is abandoned (the node stays
+        in the job; the operator is paged via ``failed_isolations``).
+    backoff_base_seconds / backoff_cap_seconds:
+        Capped exponential backoff between isolation retries: attempt
+        ``k`` waits ``min(base * 2**k, cap)`` seconds.
     """
 
     isolation_seconds: float = 120.0
     restart_seconds: float = 180.0
+    max_isolation_attempts: int = 3
+    backoff_base_seconds: float = 15.0
+    backoff_cap_seconds: float = 120.0
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        return min(
+            self.backoff_base_seconds * (2.0 ** attempt), self.backoff_cap_seconds
+        )
+
+
+@dataclass(frozen=True)
+class SteeringFaultModel:
+    """Failure injection for the steering actions themselves.
+
+    Attributes
+    ----------
+    isolation_failure_rate:
+        Probability one isolation attempt times out.
+    replacement_doa_rate:
+        Probability a backup node is dead on arrival (fails its health
+        check when pulled from the pool).
+    seed:
+        Seed for the model's private RNG.
+    """
+
+    isolation_failure_rate: float = 0.0
+    replacement_doa_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.isolation_failure_rate < 1.0:
+            raise ValueError("isolation_failure_rate must be in [0, 1)")
+        if not 0.0 <= self.replacement_doa_rate < 1.0:
+            raise ValueError("replacement_doa_rate must be in [0, 1)")
+        # Frozen dataclass: stash the RNG via object.__setattr__.
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    def isolation_fails(self) -> bool:
+        """Sample one isolation attempt's outcome."""
+        return bool(self._rng.random() < self.isolation_failure_rate)
+
+    def replacement_dead(self) -> bool:
+        """Sample one replacement's arrival health."""
+        return bool(self._rng.random() < self.replacement_doa_rate)
 
 
 @dataclass(frozen=True)
@@ -39,8 +108,20 @@ class SteeringAction:
     anomaly: Anomaly
     isolated_nodes: tuple[int, ...]
     replacement_nodes: tuple[int, ...]
-    #: When the job is running again (isolation + restart done).
+    #: When the job is running again (isolation + retries + restart done).
     ready_at: float
+    #: True when the backup pool could not cover every isolation — the
+    #: job must restart on a shrunk world.
+    pool_exhausted: bool = False
+    #: Total isolation attempts across all nodes (1 per node when no
+    #: injected steering faults fire).
+    attempts: int = 0
+    #: Extra delay paid to isolation retries, included in ``ready_at``.
+    backoff_seconds: float = 0.0
+    #: Backups drawn but dead on arrival (wasted spares).
+    doa_replacements: tuple[int, ...] = ()
+    #: Nodes whose isolation failed every attempt (still in the job).
+    failed_isolations: tuple[int, ...] = ()
 
 
 class JobSteeringService:
@@ -53,7 +134,10 @@ class JobSteeringService:
     backup_nodes:
         Node ids reserved as spares (not used by running jobs).
     config:
-        Action latencies.
+        Action latencies and retry policy.
+    faults:
+        Optional failure injection for the steering actions themselves
+        (chaos campaigns); ``None`` gives the happy path.
     """
 
     def __init__(
@@ -61,42 +145,131 @@ class JobSteeringService:
         topology: ClusterTopology,
         backup_nodes: list[int],
         config: Optional[SteeringConfig] = None,
+        faults: Optional[SteeringFaultModel] = None,
     ) -> None:
         self.topology = topology
         self.backup_pool: list[int] = list(backup_nodes)
         self.config = config or SteeringConfig()
+        self.faults = faults
         self.actions: list[SteeringAction] = []
+        #: Every node this service ever isolated (for return_to_pool
+        #: validation and idempotency).
+        self._isolated: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Isolation with retries
+    # ------------------------------------------------------------------
+    def _isolate_with_retries(self, node_id: int) -> tuple[bool, int, float]:
+        """Try to isolate one node.
+
+        Returns ``(succeeded, attempts, backoff_paid)``.
+        """
+        attempts = 0
+        backoff = 0.0
+        while attempts < self.config.max_isolation_attempts:
+            attempts += 1
+            if self.faults is None or not self.faults.isolation_fails():
+                self.topology.node(node_id).isolate()
+                self._isolated.add(node_id)
+                return True, attempts, backoff
+            if attempts < self.config.max_isolation_attempts:
+                backoff += self.config.retry_backoff(attempts - 1)
+        logger.warning(
+            "isolation of node %d failed after %d attempts; node stays in job",
+            node_id,
+            attempts,
+        )
+        return False, attempts, backoff
+
+    def _draw_replacement(self) -> tuple[Optional[int], list[int]]:
+        """Pop spares until one passes its arrival health check."""
+        doa: list[int] = []
+        while self.backup_pool:
+            candidate = self.backup_pool.pop(0)
+            if self.faults is not None and self.faults.replacement_dead():
+                logger.warning("backup node %d dead on arrival; drawing next", candidate)
+                self.topology.node(candidate).isolate()
+                self._isolated.add(candidate)
+                doa.append(candidate)
+                continue
+            return candidate, doa
+        return None, doa
 
     def handle(self, anomaly: Anomaly, now: float) -> SteeringAction:
         """Isolate the anomaly's suspect nodes and schedule the restart.
 
         Nodes already isolated are skipped (idempotent under repeated
-        detections).  If the backup pool runs dry, the job restarts on
-        its remaining healthy nodes (shrunk world size is the operator's
-        problem; the simulation surfaces it via fewer replacements than
-        isolations).
+        detections).  Isolation attempts may fail and are retried with
+        capped exponential backoff; replacements may be dead on arrival
+        and are replaced in turn.  If the backup pool runs dry the
+        action carries ``pool_exhausted=True`` and the job restarts on
+        its remaining healthy nodes (shrunk world size).
         """
         to_isolate = [
             node_id
             for node_id in anomaly.suspect_nodes
             if self.topology.node(node_id).is_schedulable
         ]
+        isolated: list[int] = []
+        failed: list[int] = []
         replacements: list[int] = []
+        doa: list[int] = []
+        total_attempts = 0
+        total_backoff = 0.0
         for node_id in to_isolate:
-            self.topology.node(node_id).isolate()
-            if self.backup_pool:
-                replacements.append(self.backup_pool.pop(0))
-        ready_at = now + self.config.isolation_seconds + self.config.restart_seconds
+            ok, attempts, backoff = self._isolate_with_retries(node_id)
+            total_attempts += attempts
+            total_backoff += backoff
+            if not ok:
+                failed.append(node_id)
+                continue
+            isolated.append(node_id)
+            replacement, dead = self._draw_replacement()
+            doa.extend(dead)
+            if replacement is not None:
+                replacements.append(replacement)
+        pool_exhausted = len(replacements) < len(isolated)
+        if pool_exhausted:
+            logger.warning(
+                "backup pool exhausted: %d node(s) isolated, %d replacement(s) "
+                "available; job restarts on a shrunk world",
+                len(isolated),
+                len(replacements),
+            )
+        ready_at = (
+            now
+            + self.config.isolation_seconds
+            + total_backoff
+            + self.config.restart_seconds
+        )
         action = SteeringAction(
             anomaly=anomaly,
-            isolated_nodes=tuple(to_isolate),
+            isolated_nodes=tuple(isolated),
             replacement_nodes=tuple(replacements),
             ready_at=ready_at,
+            pool_exhausted=pool_exhausted,
+            attempts=total_attempts,
+            backoff_seconds=total_backoff,
+            doa_replacements=tuple(doa),
+            failed_isolations=tuple(failed),
         )
         self.actions.append(action)
         return action
 
-    def return_to_pool(self, node_id: int) -> None:
-        """Return a repaired node to the backup pool."""
+    def return_to_pool(self, node_id: int) -> bool:
+        """Return a repaired node to the backup pool.
+
+        Idempotent: a node already back in the pool is left alone
+        (returns False).  A node this service never isolated is
+        rejected — returning an arbitrary node would let duplicate ids
+        into the pool.
+        """
+        if node_id not in self._isolated:
+            raise ValueError(
+                f"node {node_id} was never isolated by this steering service"
+            )
+        if node_id in self.backup_pool:
+            return False
         self.topology.node(node_id).restore()
         self.backup_pool.append(node_id)
+        return True

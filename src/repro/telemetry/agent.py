@@ -23,28 +23,40 @@ from repro.telemetry.collector import CentralCollector
 
 @dataclass
 class C4Agent:
-    """One node's agent: buffers and forwards records to the collector."""
+    """One node's agent: buffers and forwards records to the collector.
+
+    When ``channel`` is set, every forward goes through the lossy
+    transport (:class:`~repro.telemetry.unreliable.UnreliableChannel`)
+    instead of landing synchronously — records may arrive late,
+    duplicated, or never.
+    """
 
     node_id: int
     collector: CentralCollector
     records_forwarded: int = 0
     #: Pending (kind, record) pairs when the plane runs in buffered mode.
     buffer: list = field(default_factory=list)
+    #: Optional lossy agent→master transport.
+    channel: object = None
+
+    def _ship(self, ingest, record) -> None:
+        if self.channel is None:
+            ingest(record)
+        else:
+            self.channel.send(lambda: ingest(record))
+        self.records_forwarded += 1
 
     def forward_op(self, record: OpRecord) -> None:
         """Ship an operation-completion record to the master."""
-        self.collector.ingest_op(record)
-        self.records_forwarded += 1
+        self._ship(self.collector.ingest_op, record)
 
     def forward_launch(self, record: OpLaunchRecord) -> None:
         """Ship an operation-startup record to the master."""
-        self.collector.ingest_launch(record)
-        self.records_forwarded += 1
+        self._ship(self.collector.ingest_launch, record)
 
     def forward_message(self, record: MessageRecord) -> None:
         """Ship a transport-layer record to the master."""
-        self.collector.ingest_message(record)
-        self.records_forwarded += 1
+        self._ship(self.collector.ingest_message, record)
 
     def enqueue(self, kind: str, record) -> None:
         """Hold a record until the next flush (buffered mode)."""
@@ -77,6 +89,11 @@ class AgentPlane:
     records locally and ship them every ``flush_interval`` simulated
     seconds — the reporting delay a real deployment pays, which adds
     directly onto C4D's detection latency.
+
+    Passing ``channel`` (an
+    :class:`~repro.telemetry.unreliable.UnreliableChannel`) routes every
+    forward through a lossy transport that drops, delays, and duplicates
+    records — the chaos harness's partial-observability model.
     """
 
     def __init__(
@@ -85,16 +102,20 @@ class AgentPlane:
         clock=None,
         network=None,
         flush_interval: float | None = None,
+        channel=None,
     ) -> None:
         if flush_interval is not None:
             if network is None:
                 raise ValueError("buffered mode needs a network for flush timers")
             if flush_interval <= 0:
                 raise ValueError("flush_interval must be positive")
+        if channel is not None and network is None:
+            raise ValueError("a lossy channel needs a network for its timers")
         self.collector = collector
         self.agents: dict[int, C4Agent] = {}
         self.network = network
         self.flush_interval = flush_interval
+        self.channel = channel
         self._flush_armed = False
         #: Optional callable returning simulated time, used to timestamp
         #: communicator registration.
@@ -142,7 +163,9 @@ class AgentPlane:
         """The (lazily created) agent of one node."""
         agent = self.agents.get(node_id)
         if agent is None:
-            agent = C4Agent(node_id=node_id, collector=self.collector)
+            agent = C4Agent(
+                node_id=node_id, collector=self.collector, channel=self.channel
+            )
             self.agents[node_id] = agent
         return agent
 

@@ -76,12 +76,17 @@ class CentralCollector:
         self._messages: dict[str, Deque[MessageRecord]] = {}
         self._op_window = op_window
         self._message_window = message_window
+        #: Communicators explicitly deregistered; late records for them
+        #: (e.g. still in flight on a lossy channel) are discarded
+        #: silently instead of raising.
+        self._dropped: set[str] = set()
 
     # ------------------------------------------------------------------
     # Ingestion (called by agents)
     # ------------------------------------------------------------------
     def ingest_communicator(self, record: CommunicatorRecord, now: float = 0.0) -> None:
         """Register a communicator."""
+        self._dropped.discard(record.comm_id)
         self.progress[record.comm_id] = CommProgress(
             record=record,
             last_seq={rank: -1 for rank in range(record.size)},
@@ -92,9 +97,24 @@ class CentralCollector:
         self._launches[record.comm_id] = deque(maxlen=self._op_window)
         self._messages[record.comm_id] = deque(maxlen=self._message_window)
 
+    def drop_communicator(self, comm_id: str) -> None:
+        """Deregister a communicator (its job incarnation is gone).
+
+        Every stored record and all progress bookkeeping are discarded
+        and detectors stop seeing the communicator; records still in
+        flight on a lossy channel are silently ignored on arrival.
+        """
+        self.progress.pop(comm_id, None)
+        self._ops.pop(comm_id, None)
+        self._launches.pop(comm_id, None)
+        self._messages.pop(comm_id, None)
+        self._dropped.add(comm_id)
+
     def ingest_launch(self, record: OpLaunchRecord) -> None:
         """Record a per-rank operation startup."""
         progress = self._require(record.comm_id)
+        if progress is None:
+            return
         progress.last_launch_seq[record.rank] = max(
             progress.last_launch_seq.get(record.rank, -1), record.seq
         )
@@ -104,6 +124,8 @@ class CentralCollector:
     def ingest_op(self, record: OpRecord) -> None:
         """Record a completed per-rank operation."""
         progress = self._require(record.comm_id)
+        if progress is None:
+            return
         progress.last_seq[record.rank] = max(
             progress.last_seq.get(record.rank, -1), record.seq
         )
@@ -112,7 +134,8 @@ class CentralCollector:
 
     def ingest_message(self, record: MessageRecord) -> None:
         """Record a transport-layer message."""
-        self._require(record.comm_id)
+        if self._require(record.comm_id) is None:
+            return
         self._messages[record.comm_id].append(record)
 
     # ------------------------------------------------------------------
@@ -143,9 +166,18 @@ class CentralCollector:
         seqs = sorted({r.seq for r in self._ops.get(comm_id, ())})
         return seqs[-count:]
 
-    def _require(self, comm_id: str) -> CommProgress:
+    def _require(self, comm_id: str):
+        """Progress for a live communicator, None for a dropped one.
+
+        Records for a communicator that was never registered are a
+        programming error and raise; records for a *dropped* one are
+        expected stragglers (telemetry in flight when the incarnation
+        was torn down) and are discarded by the caller.
+        """
         progress = self.progress.get(comm_id)
         if progress is None:
+            if comm_id in self._dropped:
+                return None
             raise KeyError(
                 f"records for unregistered communicator {comm_id!r}; "
                 "ingest_communicator must come first"

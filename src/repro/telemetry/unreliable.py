@@ -1,0 +1,135 @@
+"""Lossy telemetry transport between the C4 agents and the master.
+
+Production monitoring pipelines ride the same network the workload
+stresses, so records arrive late, duplicated, or — when the channel is
+saturated — not at all until a retransmit succeeds.  The happy-path
+simulation delivers records synchronously; this module models the messy
+path so the detectors' robustness is measured under partial
+observability (the adversarial condition CCL-D and Mycroft style
+evaluations focus on).
+
+The channel is *at-least-once with bounded retries*: a dropped send is
+retried after ``retransmit_timeout`` up to ``max_retries`` times, so a
+drop usually manifests as extra latency, occasionally as a permanent
+hole.  Duplicates model spurious retransmits.  All randomness flows
+through one seeded generator, keeping campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Unreliability knobs for the agent→master record path.
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability one delivery *attempt* is lost.  With retries, the
+        chance a record is lost forever is ``drop_rate ** (max_retries
+        + 1)``.
+    duplicate_rate:
+        Probability a successful delivery is followed by a duplicate.
+    base_latency:
+        Fixed agent→master shipping delay, in simulated seconds.
+    jitter:
+        Mean of an exponential latency jitter added per attempt.
+    retransmit_timeout:
+        Wait before retrying a lost attempt.
+    max_retries:
+        Retries after the first attempt; 0 makes every drop permanent.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    base_latency: float = 0.5
+    jitter: float = 0.5
+    retransmit_timeout: float = 5.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+        if self.base_latency < 0 or self.jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class UnreliableChannel:
+    """Schedules lossy, delayed, duplicated record deliveries.
+
+    Parameters
+    ----------
+    network:
+        Event loop supplying ``schedule(delay, callback)`` and ``now``
+        (a :class:`~repro.netsim.network.FlowNetwork`).
+    config:
+        Unreliability parameters.
+    seed:
+        Seed for the channel's private RNG.
+    """
+
+    def __init__(self, network, config: ChannelConfig, seed: int = 0) -> None:
+        self.network = network
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        # Observability counters (surface in scorecards).
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_attempts = 0
+        self.duplicated = 0
+        self.abandoned = 0
+
+    def send(self, deliver) -> None:
+        """Ship one record; ``deliver()`` runs when (if) it arrives."""
+        self.sent += 1
+        self._attempt(deliver, attempt=0)
+
+    def _attempt(self, deliver, attempt: int) -> None:
+        cfg = self.config
+        if self._rng.random() < cfg.drop_rate:
+            self.dropped_attempts += 1
+            if attempt >= cfg.max_retries:
+                self.abandoned += 1
+                return
+            self.network.schedule(
+                cfg.retransmit_timeout,
+                lambda: self._attempt(deliver, attempt + 1),
+            )
+            return
+        delay = cfg.base_latency
+        if cfg.jitter > 0:
+            delay += float(self._rng.exponential(cfg.jitter))
+
+        def arrival() -> None:
+            self.delivered += 1
+            deliver()
+
+        self.network.schedule(delay, arrival)
+        if self._rng.random() < cfg.duplicate_rate:
+            self.duplicated += 1
+            self.network.schedule(delay + cfg.base_latency, deliver)
+
+    @property
+    def in_flight(self) -> int:
+        """Records sent but neither delivered nor abandoned yet."""
+        return self.sent - self.delivered - self.abandoned
+
+    def stats(self) -> dict:
+        """Counter snapshot for reports and scorecards."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_attempts": self.dropped_attempts,
+            "duplicated": self.duplicated,
+            "abandoned": self.abandoned,
+        }

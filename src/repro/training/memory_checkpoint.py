@@ -6,6 +6,12 @@ capable of saving checkpoints approximately every 10 iterations".  This
 module provides the engine: bounded in-memory snapshots taken every N
 steps with a small save cost, plus restore bookkeeping that the
 lifetime model and training jobs consume.
+
+Snapshots carry a checksum computed at save time.  Restore validates it
+and walks back through older snapshots when the newest is corrupted
+(bit rot, a torn in-flight save, a bad host DIMM) — the recovery
+pipeline degrades to losing more steps instead of crashing on an
+unloadable checkpoint.
 """
 
 from __future__ import annotations
@@ -14,13 +20,37 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
+def _checksum(step: int, time: float, size_bits: float) -> int:
+    """Cheap deterministic digest standing in for a content hash."""
+    return hash((step, round(time, 9), round(size_bits, 9))) & 0xFFFFFFFF
+
+
+@dataclass
 class Snapshot:
-    """One saved model state."""
+    """One saved model state.
+
+    ``checksum`` is written at save time; :meth:`is_valid` recomputes it
+    at restore time, so corruption injected in between is caught before
+    the job tries to load the state.
+    """
 
     step: int
     time: float
     size_bits: float
+    checksum: int = 0
+
+    def __post_init__(self) -> None:
+        if self.checksum == 0:
+            self.checksum = _checksum(self.step, self.time, self.size_bits)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the stored checksum matches the content."""
+        return self.checksum == _checksum(self.step, self.time, self.size_bits)
+
+    def corrupt(self) -> None:
+        """Damage the snapshot in place (chaos injection)."""
+        self.checksum = ~self.checksum & 0xFFFFFFFF
 
 
 class InMemoryCheckpointer:
@@ -61,6 +91,11 @@ class InMemoryCheckpointer:
         self.snapshots: list[Snapshot] = []
         self.saves = 0
         self.restores = 0
+        #: Corrupted snapshots skipped across all restores.
+        self.fallbacks = 0
+        #: Fallback depth of the most recent restore (0 = newest
+        #: snapshot was valid).
+        self.last_restore_fallbacks = 0
 
     def maybe_save(self, step: int, now: float) -> float:
         """Save if ``step`` is on the cadence; returns the time cost."""
@@ -74,11 +109,24 @@ class InMemoryCheckpointer:
         self.saves += 1
         return self.save_seconds
 
+    def corrupt_latest(self, count: int = 1) -> int:
+        """Damage the newest ``count`` snapshots; returns how many."""
+        corrupted = 0
+        for snapshot in reversed(self.snapshots):
+            if corrupted >= count:
+                break
+            if snapshot.is_valid:
+                snapshot.corrupt()
+                corrupted += 1
+        return corrupted
+
     def latest(self, before_time: Optional[float] = None) -> Optional[Snapshot]:
         """Most recent snapshot, optionally taken strictly before a time.
 
         A crash at time T can only restore from snapshots completed
-        before T (an in-flight save is lost with the process).
+        before T (an in-flight save is lost with the process).  Validity
+        is *not* checked here — use :meth:`restore` for the validated
+        fallback chain.
         """
         candidates = (
             self.snapshots
@@ -88,18 +136,31 @@ class InMemoryCheckpointer:
         return candidates[-1] if candidates else None
 
     def restore(self, crash_time: float) -> Optional[Snapshot]:
-        """Pick the restore point for a crash and count the event."""
-        snapshot = self.latest(before_time=crash_time)
-        if snapshot is not None:
-            self.restores += 1
-        return snapshot
+        """Pick the restore point for a crash and count the event.
+
+        Walks newest→oldest through snapshots completed before the
+        crash, skipping any that fail integrity validation; the skip
+        count lands in ``last_restore_fallbacks``.  Returns ``None``
+        when no valid snapshot exists (cold restart from step 0).
+        """
+        candidates = [s for s in self.snapshots if s.time < crash_time]
+        self.last_restore_fallbacks = 0
+        for snapshot in reversed(candidates):
+            if snapshot.is_valid:
+                self.restores += 1
+                return snapshot
+            self.last_restore_fallbacks += 1
+            self.fallbacks += 1
+        return None
 
     def lost_steps(self, crash_step: int, crash_time: float) -> int:
         """Steps of work lost by a crash (step granularity)."""
-        snapshot = self.latest(before_time=crash_time)
-        if snapshot is None:
+        candidates = [
+            s for s in self.snapshots if s.time < crash_time and s.is_valid
+        ]
+        if not candidates:
             return crash_step
-        return max(0, crash_step - snapshot.step - 1)
+        return max(0, crash_step - candidates[-1].step - 1)
 
     @property
     def memory_bits(self) -> float:

@@ -18,6 +18,7 @@ exactly Table III's downtime components.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -25,13 +26,15 @@ from repro.collective.context import CollectiveContext
 from repro.core.c4d.detectors import DetectorConfig
 from repro.core.c4d.events import Anomaly, AnomalyType
 from repro.core.c4d.master import C4DMaster
-from repro.core.c4d.steering import SteeringConfig
+from repro.core.c4d.steering import SteeringConfig, SteeringFaultModel
 from repro.telemetry.agent import AgentPlane
 from repro.telemetry.collector import CentralCollector
 from repro.training.job import JobSpec, TrainingJob
 from repro.training.memory_checkpoint import InMemoryCheckpointer
 from repro.training.parallelism import ParallelismPlan
 from repro.training.scheduler import ClusterScheduler
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,19 @@ class RecoveryEvent:
     resumed_at: float
     restored_step: int
     lost_steps: int
+    #: The backup pool could not cover every isolated node; the job
+    #: restarted on a shrunk world.
+    pool_exhausted: bool = False
+    #: Isolation attempts across all nodes (>len(isolated_nodes) when
+    #: injected steering faults forced retries).
+    isolation_attempts: int = 0
+    #: Extra downtime paid to isolation-retry backoff, in seconds.
+    backoff_seconds: float = 0.0
+    #: Backups drawn but dead on arrival (wasted spares).
+    doa_replacements: tuple[int, ...] = ()
+    #: Corrupted snapshots skipped before a valid restore point was
+    #: found (0 = newest snapshot restored cleanly).
+    restore_fallbacks: int = 0
 
     @property
     def detection_seconds(self) -> float:
@@ -92,6 +108,10 @@ class RecoveryOrchestrator:
         Optional callable returning a fresh PathSelector for each
         (re)incarnation of the job (pass a C4P selector factory to run
         the full C4 deployment).
+    steering_faults:
+        Optional failure injection for the recovery actions themselves
+        (isolation timeouts retried with capped exponential backoff,
+        replacements dead on arrival).  ``None`` gives the happy path.
     """
 
     def __init__(
@@ -105,6 +125,7 @@ class RecoveryOrchestrator:
         evaluation_interval: float = 5.0,
         selector_factory=None,
         job_name: str = "job",
+        steering_faults: Optional[SteeringFaultModel] = None,
     ) -> None:
         self.topology = topology
         self.network = topology.network
@@ -116,6 +137,7 @@ class RecoveryOrchestrator:
         self.evaluation_interval = evaluation_interval
         self.selector_factory = selector_factory or (lambda: None)
         self.job_name = job_name
+        self.steering_faults = steering_faults
 
         self.collector = CentralCollector()
         self.agent_plane = AgentPlane(self.collector, clock=lambda: self.network.now)
@@ -251,6 +273,44 @@ class RecoveryOrchestrator:
         comm_ids = anomaly.evidence.get("comm_ids", ())
         return any(str(comm_id).startswith(self._comm_prefix) for comm_id in comm_ids)
 
+    def _isolate_with_retries(self, node_id: int) -> tuple[bool, int, float]:
+        """Isolate one node, retrying with capped exponential backoff.
+
+        Returns ``(succeeded, attempts, backoff_paid_seconds)``.
+        """
+        attempts = 0
+        backoff = 0.0
+        while attempts < self.steering_config.max_isolation_attempts:
+            attempts += 1
+            if self.steering_faults is None or not self.steering_faults.isolation_fails():
+                self.topology.node(node_id).isolate()
+                return True, attempts, backoff
+            if attempts < self.steering_config.max_isolation_attempts:
+                backoff += self.steering_config.retry_backoff(attempts - 1)
+        logger.warning(
+            "isolation of node %d failed after %d attempts; node stays in job",
+            node_id,
+            attempts,
+        )
+        return False, attempts, backoff
+
+    def _replace_with_health_check(self, node_id: int) -> tuple[Optional[int], list[int]]:
+        """Swap in a backup, drawing again past dead-on-arrival spares."""
+        doa: list[int] = []
+        current = node_id
+        while True:
+            replacement = self.scheduler.replace_node(self.job_name, current)
+            if replacement is None:
+                return None, doa
+            if self.steering_faults is None or not self.steering_faults.replacement_dead():
+                return replacement, doa
+            logger.warning(
+                "backup node %d dead on arrival; drawing next", replacement
+            )
+            self.topology.node(replacement).isolate()
+            doa.append(replacement)
+            current = replacement
+
     def _recover(self, anomaly: Anomaly) -> None:
         assert self.job is not None and self.report is not None
         detected_at = self.network.now
@@ -258,21 +318,50 @@ class RecoveryOrchestrator:
         # Isolate and replace through the scheduler's backup pool.
         isolated = []
         replacements = []
+        doa: list[int] = []
+        total_attempts = 0
+        total_backoff = 0.0
         allocation = self.scheduler.allocation_of(self.job_name)
         allocated_nodes = allocation.nodes if allocation is not None else ()
         for node_id in anomaly.suspect_nodes:
             if node_id not in allocated_nodes:
                 continue
-            self.topology.node(node_id).isolate()
+            ok, attempts, backoff = self._isolate_with_retries(node_id)
+            total_attempts += attempts
+            total_backoff += backoff
+            if not ok:
+                continue
             isolated.append(node_id)
-            replacement = self.scheduler.replace_node(self.job_name, node_id)
+            replacement, dead = self._replace_with_health_check(node_id)
+            doa.extend(dead)
             if replacement is not None:
                 replacements.append(replacement)
-        # Restore point: the last snapshot completed before the crash.
+        pool_exhausted = len(replacements) < len(isolated)
+        if pool_exhausted:
+            logger.warning(
+                "backup pool exhausted for job %r: %d isolated, %d replaced; "
+                "restarting on a shrunk world",
+                self.job_name,
+                len(isolated),
+                len(replacements),
+            )
+        # Restore point: the newest *valid* snapshot completed before the
+        # crash; corrupted ones are skipped (fallback chain).
         snapshot = self.checkpointer.restore(crash_time)
+        restore_fallbacks = self.checkpointer.last_restore_fallbacks
+        if restore_fallbacks:
+            logger.warning(
+                "skipped %d corrupted snapshot(s); restoring from step %s",
+                restore_fallbacks,
+                snapshot.step if snapshot is not None else "0 (cold start)",
+            )
         restored_step = snapshot.step + 1 if snapshot is not None else 0
         lost = max(0, self.job.current_step - restored_step)
-        delay = self.steering_config.isolation_seconds + self.steering_config.restart_seconds
+        delay = (
+            self.steering_config.isolation_seconds
+            + total_backoff
+            + self.steering_config.restart_seconds
+        )
         resumed_at = detected_at + delay
         self.report.events.append(
             RecoveryEvent(
@@ -283,6 +372,11 @@ class RecoveryOrchestrator:
                 resumed_at=resumed_at,
                 restored_step=restored_step,
                 lost_steps=lost,
+                pool_exhausted=pool_exhausted,
+                isolation_attempts=total_attempts,
+                backoff_seconds=total_backoff,
+                doa_replacements=tuple(doa),
+                restore_fallbacks=restore_fallbacks,
             )
         )
         self._crash_time = None

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cluster.faults import (
     FaultClass,
+    FaultEvent,
     FaultInjector,
     FaultRates,
     FaultType,
@@ -142,3 +143,78 @@ def test_pick_victims_distinct():
 def test_pick_victims_too_many():
     with pytest.raises(ValueError):
         FaultInjector().pick_victims([1, 2], 3)
+
+
+# ----------------------------------------------------------------------
+# Adversarial fault models (chaos harness)
+# ----------------------------------------------------------------------
+def test_flapping_events_share_episode_and_alternate_windows():
+    events = FaultInjector(seed=5).sample_flapping(
+        duration_seconds=3600.0, num_nodes=8, episodes=2
+    )
+    assert events
+    by_episode = {}
+    for event in events:
+        assert event.fault_type is FaultType.FLAPPING_HOST
+        assert event.duration is not None and event.duration > 0
+        by_episode.setdefault(event.episode_id, []).append(event)
+    assert set(by_episode) == {0, 1}
+    for episode_events in by_episode.values():
+        # One victim node per episode; recurrences never overlap.
+        assert len({e.component for e in episode_events}) == 1
+        ordered = sorted(episode_events, key=lambda e: e.time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier.end_time <= later.time
+
+
+def test_cascade_events_share_window_and_contiguous_nodes():
+    events = FaultInjector(seed=3).sample_cascades(
+        duration_seconds=3600.0, num_nodes=16, cascades=1, group_size=4
+    )
+    assert len(events) == 4
+    nodes = sorted(e.component for e in events)
+    assert nodes == list(range(nodes[0], nodes[0] + 4))  # one ToR's hosts
+    assert len({(e.time, e.duration) for e in events}) == 1
+    assert all(e.cascade_id == 0 for e in events)
+
+
+def test_checkpoint_corruption_events_sampled():
+    events = FaultInjector(seed=11).sample_checkpoint_corruptions(
+        duration_seconds=3600.0, expected_events=5.0
+    )
+    assert all(e.fault_type is FaultType.CHECKPOINT_CORRUPTION for e in events)
+    assert [e.time for e in events] == sorted(e.time for e in events)
+
+
+def test_active_at_respects_windows():
+    event = FaultInjector(seed=0).sample_flapping(
+        duration_seconds=3600.0, num_nodes=4, episodes=1
+    )[0]
+    assert not event.active_at(event.time - 1.0)
+    assert event.active_at(event.time)
+    assert event.active_at(event.time + event.duration / 2)
+    assert not event.active_at(event.time + event.duration)
+
+
+def test_permanent_fault_active_forever():
+    event = FaultEvent(10.0, FaultType.CUDA_ERROR, FaultClass.CRASH, True, 2)
+    assert event.end_time is None
+    assert event.active_at(10.0) and event.active_at(1e9)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_adversarial_sampling_deterministic_under_seed(seed):
+    # Property: every new fault kind is a pure function of the seed.
+    def sample(injector):
+        return (
+            injector.sample_flapping(7200.0, num_nodes=16, episodes=3),
+            injector.sample_cascades(7200.0, num_nodes=16, cascades=2),
+            injector.sample_checkpoint_corruptions(7200.0, expected_events=2.0),
+        )
+
+    first = sample(FaultInjector(seed=seed))
+    second = sample(FaultInjector(seed=seed))
+    assert first == second
+    # A different seed produces a different plan (overwhelmingly likely).
+    other = sample(FaultInjector(seed=seed + 1))
+    assert first != other

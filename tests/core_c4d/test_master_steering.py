@@ -13,7 +13,11 @@ from repro.core.c4d.detectors import DetectorConfig
 from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
 from repro.core.c4d.master import C4DMaster
 from repro.core.c4d.rca import RootCauseAnalyzer
-from repro.core.c4d.steering import JobSteeringService, SteeringConfig
+from repro.core.c4d.steering import (
+    JobSteeringService,
+    SteeringConfig,
+    SteeringFaultModel,
+)
 from repro.netsim.network import FlowNetwork
 from repro.telemetry.collector import CentralCollector
 
@@ -187,3 +191,137 @@ def test_master_aggregates_cross_communicator_suspects():
     assert anomaly.suspects[0].kind is SuspectKind.NODE
     assert anomaly.suspects[0].node == 3
     assert set(anomaly.evidence["comm_ids"]) == {"dp0", "dp1"}
+
+
+# ----------------------------------------------------------------------
+# Hardened steering: idempotency, pool exhaustion, retries, DOA spares
+# ----------------------------------------------------------------------
+def test_return_to_pool_rejects_never_isolated(topo):
+    service = JobSteeringService(topo, backup_nodes=[])
+    with pytest.raises(ValueError):
+        service.return_to_pool(7)
+
+
+def test_return_to_pool_is_idempotent(topo):
+    service = JobSteeringService(topo, backup_nodes=[])
+    service.handle(anomaly(node=2), now=0.0)
+    assert service.return_to_pool(2) is True
+    assert service.return_to_pool(2) is False  # second call is a no-op
+    assert service.backup_pool == [2]  # no duplicate id
+
+
+def test_pool_exhaustion_sets_structured_field(topo, caplog):
+    service = JobSteeringService(topo, backup_nodes=[14])
+    both = Anomaly(
+        anomaly_type=AnomalyType.NONCOMM_HANG,
+        comm_id="c",
+        detected_at=10.0,
+        suspects=(
+            Suspect(kind=SuspectKind.WORKER, node=3, device=0),
+            Suspect(kind=SuspectKind.WORKER, node=5, device=0),
+        ),
+    )
+    with caplog.at_level("WARNING"):
+        action = service.handle(both, now=0.0)
+    assert action.pool_exhausted is True
+    assert action.isolated_nodes == (3, 5)
+    assert action.replacement_nodes == (14,)
+    assert any("exhausted" in r.message for r in caplog.records)
+
+
+def test_pool_not_exhausted_flag_false(topo):
+    service = JobSteeringService(topo, backup_nodes=[14, 15])
+    action = service.handle(anomaly(node=3), now=0.0)
+    assert action.pool_exhausted is False
+
+
+def test_isolation_retries_with_capped_backoff(topo):
+    # seed 0 draws ~0.64, 0.27, 0.04 — all below 0.99, so every
+    # attempt fails deterministically and the node stays in the job.
+    service = JobSteeringService(
+        topo,
+        backup_nodes=[15],
+        faults=SteeringFaultModel(isolation_failure_rate=0.99, seed=0),
+    )
+    action = service.handle(anomaly(node=3), now=0.0)
+    assert action.failed_isolations == (3,)
+    assert action.isolated_nodes == ()
+    assert action.attempts == 3
+    # Backoff between attempts: 15 + 30 (capped exponential, base 15).
+    assert action.backoff_seconds == pytest.approx(45.0)
+    assert action.ready_at == pytest.approx(300.0 + 45.0)
+    assert topo.node(3).is_schedulable  # isolation never landed
+    assert service.backup_pool == [15]  # no replacement drawn
+
+
+def test_dead_on_arrival_replacements_are_recorded(topo):
+    service = JobSteeringService(
+        topo,
+        backup_nodes=[14, 15],
+        faults=SteeringFaultModel(replacement_doa_rate=0.99, seed=0),
+    )
+    action = service.handle(anomaly(node=3), now=0.0)
+    assert action.isolated_nodes == (3,)
+    assert action.replacement_nodes == ()
+    assert action.doa_replacements == (14, 15)
+    assert action.pool_exhausted is True
+    # DOA spares are isolated too (they are broken hardware).
+    assert not topo.node(14).is_schedulable
+    assert not topo.node(15).is_schedulable
+
+
+def test_retry_backoff_is_capped():
+    config = SteeringConfig(backoff_base_seconds=15.0, backoff_cap_seconds=120.0)
+    assert config.retry_backoff(0) == 15.0
+    assert config.retry_backoff(2) == 60.0
+    assert config.retry_backoff(10) == 120.0  # capped
+
+
+# ----------------------------------------------------------------------
+# Master robustness gates: debounce and per-node action hysteresis
+# ----------------------------------------------------------------------
+def test_debounce_requires_consecutive_sightings(topo):
+    collector = _hang_collector()
+    steering = JobSteeringService(topo, backup_nodes=[15])
+    master = C4DMaster(
+        collector,
+        DetectorConfig(hang_timeout=30.0, debounce_evaluations=2),
+        steering=steering,
+    )
+    assert master.evaluate(now=60.0) == []  # first sighting held back
+    fresh = master.evaluate(now=70.0)  # second consecutive one passes
+    assert len(fresh) == 1
+    assert steering.actions[0].isolated_nodes == (3,)
+
+
+def test_debounce_resets_on_gap():
+    collector = _hang_collector()
+    master = C4DMaster(
+        collector, DetectorConfig(hang_timeout=30.0, debounce_evaluations=3)
+    )
+    assert master.evaluate(now=60.0) == []
+    assert master.evaluate(now=70.0) == []
+    assert len(master.evaluate(now=80.0)) == 1
+
+
+def test_node_action_cooldown_suppresses_reisolation(topo):
+    collector = _hang_collector()
+    steering = JobSteeringService(topo, backup_nodes=[14, 15])
+    master = C4DMaster(
+        collector,
+        DetectorConfig(hang_timeout=30.0, node_action_cooldown=600.0),
+        steering=steering,
+    )
+    assert len(master.evaluate(now=60.0)) == 1
+    # A second incarnation hangs on the same node: a different comm_id
+    # defeats the per-key cooldown, but the node-level hysteresis holds.
+    ranks = tuple(RankLocation(i, 0) for i in range(4))
+    collector.ingest_communicator(CommunicatorRecord("c2", 4, ranks), now=61.0)
+    for rank in range(3):
+        collector.ingest_launch(
+            OpLaunchRecord("c2", 0, OpType.ALLREDUCE, rank, ranks[rank], 61.0)
+        )
+    assert master.evaluate(now=120.0) == []
+    assert len(steering.actions) == 1
+    # After the cooldown expires, the node is actionable again.
+    assert len(master.evaluate(now=700.0)) == 1

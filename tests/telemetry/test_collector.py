@@ -132,3 +132,31 @@ def test_comm_ids():
     collector.ingest_communicator(comm_record("a"))
     collector.ingest_communicator(comm_record("b"))
     assert set(collector.comm_ids()) == {"a", "b"}
+
+
+def test_drop_communicator_discards_stragglers():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_op(op(seq=0))
+    collector.drop_communicator("c")
+    assert collector.comm_ids() == []
+    # Records still in flight on a lossy channel arrive late: silently
+    # discarded, not a KeyError.
+    collector.ingest_op(op(seq=1))
+    collector.ingest_launch(launch(seq=1, rank=0))
+    assert collector.comm_ids() == []
+
+
+def test_unregistered_communicator_still_raises():
+    collector = CentralCollector()
+    with pytest.raises(KeyError):
+        collector.ingest_op(op(seq=0))
+
+
+def test_reregistering_dropped_communicator_revives_it():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.drop_communicator("c")
+    collector.ingest_communicator(comm_record())
+    collector.ingest_op(op(seq=0))
+    assert collector.progress["c"].max_seq == 0

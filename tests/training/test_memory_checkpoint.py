@@ -91,3 +91,45 @@ def test_training_job_pays_save_cost():
     # step inside the run.
     assert with_saves == pytest.approx(plain + 1.0, rel=1e-6)
     assert ckpt.saves == 2
+
+
+# ----------------------------------------------------------------------
+# Integrity validation and the restore fallback chain
+# ----------------------------------------------------------------------
+def test_snapshot_corruption_detected():
+    ckpt = InMemoryCheckpointer(interval_steps=1)
+    ckpt.maybe_save(0, now=0.0)
+    snapshot = ckpt.snapshots[0]
+    assert snapshot.is_valid
+    snapshot.corrupt()
+    assert not snapshot.is_valid
+
+
+def test_restore_falls_back_past_corrupted_snapshot():
+    ckpt = InMemoryCheckpointer(interval_steps=1, capacity=4)
+    for step in range(3):
+        ckpt.maybe_save(step, now=float(step))
+    assert ckpt.corrupt_latest() == 1
+    snapshot = ckpt.restore(crash_time=10.0)
+    assert snapshot is not None and snapshot.step == 1
+    assert ckpt.last_restore_fallbacks == 1
+    assert ckpt.fallbacks == 1
+
+
+def test_restore_cold_starts_when_all_corrupted():
+    ckpt = InMemoryCheckpointer(interval_steps=1, capacity=4)
+    for step in range(2):
+        ckpt.maybe_save(step, now=float(step))
+    assert ckpt.corrupt_latest(count=2) == 2
+    assert ckpt.restore(crash_time=10.0) is None
+    assert ckpt.last_restore_fallbacks == 2
+
+
+def test_lost_steps_ignores_corrupted_snapshots():
+    ckpt = InMemoryCheckpointer(interval_steps=1, capacity=4)
+    for step in range(3):
+        ckpt.maybe_save(step, now=float(step))
+    assert ckpt.lost_steps(crash_step=5, crash_time=10.0) == 2
+    ckpt.corrupt_latest()
+    # The newest snapshot no longer counts as a restore point.
+    assert ckpt.lost_steps(crash_step=5, crash_time=10.0) == 3

@@ -19,7 +19,6 @@ Run:  python examples/multi_job_cluster.py
 
 from repro.collective.context import CollectiveContext
 from repro.core.c4d import C4DMaster, DetectorConfig, JobSteeringService
-from repro.core.c4p import C4PMaster, C4PSelector
 from repro.telemetry.agent import AgentPlane
 from repro.telemetry.collector import CentralCollector
 from repro.training.job import TrainingJob

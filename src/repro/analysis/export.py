@@ -79,7 +79,25 @@ def downtime_to_dict(breakdown: DowntimeBreakdown) -> dict:
 
 def scenario_scorecard_to_dict(card: ScenarioScorecard) -> dict:
     """Serialize one chaos scenario's score, including derived metrics."""
+    fabric = None
+    if card.fabric is not None:
+        m = card.fabric
+        fabric = {
+            "qps_total": m.qps_total,
+            "migrations": m.migrations,
+            "stranded": m.stranded,
+            "residual_after_deadline": m.residual_after_deadline,
+            "reroute_latency_mean": m.reroute_latency_mean,
+            "reroute_latency_max": m.reroute_latency_max,
+            "holddown_violations": m.holddown_violations,
+            "plane_violations": m.plane_violations,
+            "spine_imbalance": m.spine_imbalance,
+            "pre_fault_throughput": m.pre_fault_throughput,
+            "recovery_time": m.recovery_time,
+            "recovered_links": m.recovered_links,
+        }
     return {
+        "fabric": fabric,
         "name": card.name,
         "seed": card.seed,
         "kind": card.kind,

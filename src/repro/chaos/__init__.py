@@ -4,27 +4,39 @@ The package turns the repo's detect→steer→recover stack into a system
 under test: scenarios inject flapping faults, correlated cascades, hard
 crashes, lossy telemetry, failing steering actions and corrupted
 checkpoints — and the campaign scores what the pipeline actually did
-against the injected ground truth.
+against the injected ground truth.  FABRIC scenarios aim the same
+treatment at the traffic-engineering plane: links die, flap and return
+under a live C4P master, judged on drain-and-migrate completeness, flap
+damping and throughput recovery.
 """
 
 from repro.chaos.campaign import ChaosCampaign
+from repro.chaos.fabric import run_fabric_scenario
 from repro.chaos.scenario import (
     HARDENED_DETECTORS,
     ChaosScenario,
     Episode,
+    FabricEvent,
+    FabricPlan,
     ScenarioKind,
     cascade_scenario,
     checkpoint_corruption_scenario,
     crash_under_loss_scenario,
     default_campaign,
+    dual_plane_scenario,
     episodes_from_faults,
+    flapping_link_scenario,
     flapping_scenario,
+    link_down_scenario,
+    spine_maintenance_scenario,
 )
 from repro.chaos.scorecard import (
     DEFAULT_GRACE,
     CampaignScorecard,
     EpisodeOutcome,
+    FabricMetrics,
     ScenarioScorecard,
+    score_fabric_scenario,
     score_pipeline_scenario,
     score_recovery_scenario,
 )
@@ -36,6 +48,9 @@ __all__ = [
     "ScenarioKind",
     "Episode",
     "EpisodeOutcome",
+    "FabricEvent",
+    "FabricPlan",
+    "FabricMetrics",
     "CampaignScorecard",
     "ScenarioScorecard",
     "SyntheticFeed",
@@ -46,7 +61,13 @@ __all__ = [
     "cascade_scenario",
     "crash_under_loss_scenario",
     "checkpoint_corruption_scenario",
+    "link_down_scenario",
+    "flapping_link_scenario",
+    "spine_maintenance_scenario",
+    "dual_plane_scenario",
     "episodes_from_faults",
+    "run_fabric_scenario",
     "score_pipeline_scenario",
     "score_recovery_scenario",
+    "score_fabric_scenario",
 ]

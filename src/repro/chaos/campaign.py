@@ -99,9 +99,13 @@ class ChaosCampaign:
         return CampaignScorecard(scenarios=tuple(cards))
 
     def run_scenario(self, scenario: ChaosScenario) -> ScenarioScorecard:
-        """Execute one scenario of either kind."""
+        """Execute one scenario of any kind."""
         if scenario.kind is ScenarioKind.RECOVERY:
             return self._run_recovery(scenario)
+        if scenario.kind is ScenarioKind.FABRIC:
+            from repro.chaos.fabric import run_fabric_scenario
+
+            return run_fabric_scenario(scenario)
         return self._run_pipeline(scenario)
 
     # ------------------------------------------------------------------

@@ -14,6 +14,11 @@ scenario kinds exist:
   :class:`~repro.training.recovery.RecoveryOrchestrator`, with
   checkpoint corruption injected so restore must fall back through the
   snapshot chain.
+* ``FABRIC`` — drives the C4P traffic-engineering plane: live QPs
+  allocated by a real :class:`~repro.core.c4p.master.C4PMaster` while
+  fabric links die, flap and come back, judged on drain-and-migrate
+  completeness, reroute latency, flap damping and throughput recovery
+  (the Fig. 12/13 behaviours under adversarial schedules).
 
 Scenario factories derive every stochastic choice from the scenario
 seed, so a campaign is reproducible end to end.
@@ -25,9 +30,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cluster.faults import FaultClass, FaultEvent, FaultInjector, FaultType
+from repro.cluster.faults import (
+    FaultClass,
+    FaultEvent,
+    FaultInjector,
+    FaultType,
+    spine_fabric_links,
+)
+from repro.cluster.specs import TESTBED_16_NODES
+from repro.cluster.topology import ClusterTopology
 from repro.core.c4d.detectors import DetectorConfig
 from repro.core.c4d.steering import SteeringConfig, SteeringFaultModel
+from repro.core.c4p.health import LinkHealthConfig
 from repro.telemetry.unreliable import ChannelConfig
 
 
@@ -36,6 +50,7 @@ class ScenarioKind(enum.Enum):
 
     PIPELINE = "pipeline"  # detect -> steer on the synthetic feed
     RECOVERY = "recovery"  # crash -> checkpoint-restore on the orchestrator
+    FABRIC = "fabric"  # link faults -> drain-and-migrate on the C4P master
 
 
 @dataclass(frozen=True)
@@ -103,6 +118,80 @@ def episodes_from_faults(faults: tuple[FaultEvent, ...]) -> tuple[Episode, ...]:
     return tuple(sorted(episodes, key=lambda e: e.onset))
 
 
+@dataclass(frozen=True)
+class FabricEvent:
+    """One scheduled fabric state change.
+
+    ``notify=True`` models an out-of-band failure notification reaching
+    the C4P master immediately (a switch trap, a NIC event — the Fig. 12
+    fast path); ``notify=False`` is a *silent* failure the master must
+    catch through its periodic incremental re-probe.  ``up`` events are
+    always silent: recovery must earn its way back through the health
+    state machine, never through an announcement.
+    """
+
+    time: float
+    action: str  # "down" | "up"
+    links: tuple[tuple, ...]
+    notify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.action not in ("down", "up"):
+            raise ValueError(f"action must be 'down' or 'up', got {self.action!r}")
+
+
+@dataclass(frozen=True)
+class FabricPlan:
+    """Ground truth and judging knobs of one FABRIC scenario.
+
+    Attributes
+    ----------
+    events:
+        The fault schedule (the ground truth the scorecard judges
+        against).
+    migration_deadline:
+        Seconds after each ``down`` event by which every victim QP must
+        be off the dead link(s) — the residual-QP acceptance check.
+    reprobe_interval:
+        Cadence of the master's periodic :meth:`maintenance` passes.
+    connections / qps_per_connection:
+        Synthetic tenant load placed through the master before faults.
+    nic:
+        NIC index the connections use; pins the load to one rail so the
+        scheduled link faults actually have victims.
+    sample_interval:
+        Throughput / residual sampling cadence.
+    recovery_fraction:
+        Fraction of pre-fault throughput that counts as recovered.
+    health:
+        Flap-damping configuration handed to the master.
+    flap_guards:
+        ``(link_id, start, end)`` triples: placements of QPs onto
+        ``link_id`` inside its window are hold-down violations.  Each
+        window runs from just after that link's *first* failure (before
+        it the link is legitimately healthy) until its last hold-down
+        expires under ``health``'s escalation schedule.
+    """
+
+    events: tuple[FabricEvent, ...]
+    migration_deadline: float = 30.0
+    reprobe_interval: float = 15.0
+    connections: int = 48
+    qps_per_connection: int = 2
+    nic: int = 0
+    sample_interval: float = 5.0
+    recovery_fraction: float = 0.90
+    health: LinkHealthConfig = field(default_factory=LinkHealthConfig)
+    flap_guards: tuple[tuple[tuple, float, float], ...] = ()
+
+    @property
+    def down_events(self) -> tuple[FabricEvent, ...]:
+        """The failure half of the schedule, in time order."""
+        return tuple(
+            sorted((e for e in self.events if e.action == "down"), key=lambda e: e.time)
+        )
+
+
 #: Detector hardening used by default in chaos runs: debounce over two
 #: consecutive evaluations, ten-minute per-node action hysteresis, and
 #: slow-threshold hysteresis — the configuration the acceptance
@@ -141,6 +230,8 @@ class ChaosScenario:
     evaluation_interval: float = 10.0
     #: RECOVERY kind: snapshots corrupted before restore.
     corrupt_newest: int = 0
+    #: FABRIC kind: the fault schedule and judging knobs.
+    fabric: Optional[FabricPlan] = None
 
     @property
     def episodes(self) -> tuple[Episode, ...]:
@@ -260,12 +351,155 @@ def checkpoint_corruption_scenario(seed: int, corrupt_newest: int = 1) -> ChaosS
     )
 
 
+# ----------------------------------------------------------------------
+# Fabric (C4P) scenario factories
+# ----------------------------------------------------------------------
+def link_down_scenario(seed: int, duration: float = 300.0) -> ChaosScenario:
+    """Mid-job leaf-spine link death with out-of-band notification (Fig. 12).
+
+    The acceptance scenario for drain-and-migrate: every QP on the dead
+    link must be on a healthy route within the migration deadline.
+    """
+    spec = TESTBED_16_NODES
+    rail = seed % spec.rails
+    link = ClusterTopology.leaf_up(
+        rail, seed % 2, seed % spec.spines_per_rail, seed % spec.uplink_ports_per_spine
+    )
+    plan = FabricPlan(
+        events=(FabricEvent(time=60.0, action="down", links=(link,)),),
+        migration_deadline=20.0,
+        nic=rail,
+    )
+    return ChaosScenario(
+        name=f"link-down[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.FABRIC,
+        duration=duration,
+        fabric=plan,
+    )
+
+
+def flapping_link_scenario(seed: int, duration: float = 400.0) -> ChaosScenario:
+    """Two links flapping out of phase (Fig. 13's adversarial cousin).
+
+    When link A dies while link B is in its quiet half, B is exactly
+    where a naive master would migrate A's QPs — the hold-down must keep
+    both links out of the pool until they stop flapping.  The guard
+    window runs from the first failure to the last hold-down expiry
+    (failures at 60/110/160 and 80/130/180 escalate 30 s → 60 s → 120 s
+    under the default :class:`LinkHealthConfig`).
+    """
+    spec = TESTBED_16_NODES
+    rail = seed % spec.rails
+    link_a = ClusterTopology.leaf_up(
+        rail, 0, seed % spec.spines_per_rail, seed % spec.uplink_ports_per_spine
+    )
+    link_b = ClusterTopology.leaf_up(
+        rail,
+        1,
+        (seed + 3) % spec.spines_per_rail,
+        (seed + 1) % spec.uplink_ports_per_spine,
+    )
+    events = []
+    for link, start in [
+        (link_a, 60.0), (link_b, 80.0), (link_a, 110.0),
+        (link_b, 130.0), (link_a, 160.0), (link_b, 180.0),
+    ]:
+        events.append(FabricEvent(time=start, action="down", links=(link,)))
+        events.append(FabricEvent(time=start + 15.0, action="up", links=(link,)))
+    plan = FabricPlan(
+        events=tuple(events),
+        migration_deadline=20.0,
+        # Hold-downs escalate 30 -> 60 -> 120: A's expires at 160 + 120
+        # = 280, B's at 180 + 120 = 300.
+        flap_guards=((link_a, 61.0, 280.0), (link_b, 81.0, 300.0)),
+        nic=rail,
+    )
+    return ChaosScenario(
+        name=f"flapping-link[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.FABRIC,
+        duration=duration,
+        fabric=plan,
+    )
+
+
+def spine_maintenance_scenario(seed: int, duration: float = 300.0) -> ChaosScenario:
+    """A whole spine silently taken down (unannounced maintenance).
+
+    No notification reaches the master — detection must come from the
+    periodic incremental re-probe, so the migration deadline allows for
+    one re-probe interval of blindness.
+    """
+    spec = TESTBED_16_NODES
+    rail = seed % spec.rails
+    spine = seed % spec.spines_per_rail
+    plan = FabricPlan(
+        events=(
+            FabricEvent(
+                time=60.0,
+                action="down",
+                links=spine_fabric_links(spec, rail, spine),
+                notify=False,
+            ),
+        ),
+        migration_deadline=40.0,
+        reprobe_interval=15.0,
+        nic=rail,
+    )
+    return ChaosScenario(
+        name=f"spine-maintenance[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.FABRIC,
+        duration=duration,
+        fabric=plan,
+    )
+
+
+def dual_plane_scenario(seed: int, duration: float = 300.0) -> ChaosScenario:
+    """Correlated failures on *both* planes at the same instant.
+
+    The drain must keep every migrated QP in its original plane (left
+    victims re-placed on left routes, right on right) even though both
+    planes are degraded simultaneously.
+    """
+    spec = TESTBED_16_NODES
+    rail = seed % spec.rails
+    link_left = ClusterTopology.leaf_up(
+        rail, 0, seed % spec.spines_per_rail, seed % spec.uplink_ports_per_spine
+    )
+    link_right = ClusterTopology.leaf_up(
+        rail,
+        1,
+        (seed + 5) % spec.spines_per_rail,
+        (seed + 2) % spec.uplink_ports_per_spine,
+    )
+    plan = FabricPlan(
+        events=(
+            FabricEvent(time=60.0, action="down", links=(link_left, link_right)),
+        ),
+        migration_deadline=20.0,
+        nic=rail,
+    )
+    return ChaosScenario(
+        name=f"dual-plane[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.FABRIC,
+        duration=duration,
+        fabric=plan,
+    )
+
+
 def default_campaign(seed: int = 0) -> list[ChaosScenario]:
-    """The standard mixed campaign: flapping, cascade, crash, corruption."""
+    """The standard mixed campaign: node faults, recovery, and fabric faults."""
     return [
         flapping_scenario(seed),
         flapping_scenario(seed + 1),
         cascade_scenario(seed + 2),
         crash_under_loss_scenario(seed + 3),
         checkpoint_corruption_scenario(seed + 4),
+        link_down_scenario(seed + 5),
+        flapping_link_scenario(seed + 6),
+        spine_maintenance_scenario(seed + 7),
+        dual_plane_scenario(seed + 8),
     ]

@@ -60,6 +60,47 @@ class EpisodeOutcome:
 
 
 @dataclass(frozen=True)
+class FabricMetrics:
+    """Traffic-engineering judgment of one FABRIC scenario.
+
+    The runner knows the injected link schedule (ground truth) and
+    observes the master's books plus the simulated flows, so every
+    number here is measured, not inferred:
+
+    * ``residual_after_deadline`` — worst-case count of QPs whose flows
+      still crossed a physically dead link when a down event's migration
+      deadline expired (the Fig. 12 acceptance number: must be zero);
+    * ``reroute_latency_*`` — seconds from a down event to the last
+      victim QP's migration (zero when the out-of-band notification
+      drains synchronously; bounded by the re-probe interval for silent
+      failures);
+    * ``holddown_violations`` — QP placements onto a flapping link
+      inside the guard window (flap damping must keep this at zero);
+    * ``plane_violations`` — migrations that crossed physical planes;
+    * ``spine_imbalance`` — max/mean allocated QP load across live
+      spines at scenario end (post-fault balance, Fig. 12b);
+    * ``recovery_time`` — seconds from the last down event until
+      throughput first returned to ``recovery_fraction`` of its
+      pre-fault level (None when it never did);
+    * ``recovered_links`` — dead links re-admitted through hold-down +
+      probation by scenario end.
+    """
+
+    qps_total: int
+    migrations: int
+    stranded: int
+    residual_after_deadline: int
+    reroute_latency_mean: float
+    reroute_latency_max: float
+    holddown_violations: int
+    plane_violations: int
+    spine_imbalance: float
+    pre_fault_throughput: float
+    recovery_time: Optional[float]
+    recovered_links: int
+
+
+@dataclass(frozen=True)
 class ScenarioScorecard:
     """One scenario's score."""
 
@@ -87,6 +128,8 @@ class ScenarioScorecard:
     restore_fallbacks: int = 0
     #: RECOVERY kind: the run finished despite the injected damage.
     completed: bool = True
+    #: FABRIC kind: traffic-engineering metrics (None otherwise).
+    fabric: Optional[FabricMetrics] = None
 
     @property
     def precision(self) -> float:
@@ -255,6 +298,37 @@ def score_pipeline_scenario(
         channel=dict(channel_stats or {}),
         steps_completed=steps_completed,
         relaunches=relaunches,
+    )
+
+
+def score_fabric_scenario(
+    scenario: ChaosScenario, metrics: FabricMetrics
+) -> ScenarioScorecard:
+    """Wrap one fabric run's measurements into the campaign scorecard.
+
+    Fabric scenarios have no steering actions or node episodes; the
+    episode/action counters stay empty and the scenario passes
+    (``completed``) when the three hard invariants hold: every victim
+    QP migrated by its deadline, no placement violated a hold-down, and
+    no migration crossed planes.
+    """
+    return ScenarioScorecard(
+        name=scenario.name,
+        seed=scenario.seed,
+        kind=scenario.kind.value,
+        episodes=(),
+        true_actions=0,
+        false_actions=0,
+        false_isolations=0,
+        isolation_storms=0,
+        wasted_backups=0,
+        pool_exhaustions=metrics.stranded,
+        completed=(
+            metrics.residual_after_deadline == 0
+            and metrics.holddown_violations == 0
+            and metrics.plane_violations == 0
+        ),
+        fabric=metrics,
     )
 
 

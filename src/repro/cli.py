@@ -39,17 +39,33 @@ def _run_one(name: str, seed: int | None) -> None:
     print(f"[{name} finished in {time.time() - started:.1f}s]\n")
 
 
-def _run_chaos(seed: int, json_path: str | None) -> int:
+def _run_chaos(seed: int, json_path: str | None, kind: str | None = None) -> int:
     """Run the default chaos campaign and print/export the scorecard."""
     # Imported lazily: the chaos stack is not needed for 'list'/'run'.
     from repro.analysis.export import campaign_scorecard_to_dict, write_json
-    from repro.chaos import ChaosCampaign
+    from repro.chaos import ChaosCampaign, default_campaign
 
     started = time.time()
-    campaign = ChaosCampaign(seed=seed)
+    scenarios = default_campaign(seed)
+    if kind is not None:
+        scenarios = [s for s in scenarios if s.kind.value == kind]
+    campaign = ChaosCampaign(scenarios=scenarios)
     print(f"--- chaos: {len(campaign.scenarios)} adversarial scenarios, seed {seed} ---")
     card = campaign.run()
     for scenario in card.scenarios:
+        if scenario.fabric is not None:
+            m = scenario.fabric
+            recovery = f"{m.recovery_time:.0f}s" if m.recovery_time is not None else "-"
+            print(
+                f"{scenario.name:24s} qps={m.qps_total} migrations={m.migrations} "
+                f"residual={m.residual_after_deadline} stranded={m.stranded} "
+                f"reroute_max={m.reroute_latency_max:.1f}s "
+                f"holddown_violations={m.holddown_violations} "
+                f"plane_violations={m.plane_violations} "
+                f"spine_imbalance={m.spine_imbalance:.2f} "
+                f"recovery={recovery} recovered_links={m.recovered_links}"
+            )
+            continue
         mttr = ", ".join(f"{v:.0f}s" for v in scenario.mttr_values) or "-"
         print(
             f"{scenario.name:24s} precision={scenario.precision:.2f} "
@@ -98,10 +114,16 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--json", default=None, metavar="PATH", help="also write the scorecard as JSON"
     )
+    chaos_parser.add_argument(
+        "--kind",
+        default=None,
+        choices=("pipeline", "recovery", "fabric"),
+        help="run only scenarios of one kind",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "chaos":
-        return _run_chaos(args.seed, args.json)
+        return _run_chaos(args.seed, args.json, args.kind)
 
     if args.command == "list":
         for name, (_module, description) in EXPERIMENTS.items():

@@ -33,7 +33,23 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.specs import ClusterSpec
 from repro.cluster.topology import ClusterTopology
+
+
+def spine_fabric_links(spec: ClusterSpec, rail: int, spine: int) -> tuple[tuple, ...]:
+    """Every fabric link id touching one spine (both sides, both tiers).
+
+    The unit a spine maintenance (or a spine dying) takes down at once:
+    all leaf→spine uplinks into it and all spine→leaf downlinks out of
+    it, on both planes.
+    """
+    links: list[tuple] = []
+    for side in (0, 1):
+        for k in range(spec.uplink_ports_per_spine):
+            links.append(ClusterTopology.leaf_up(rail, side, spine, k))
+            links.append(ClusterTopology.spine_down(rail, spine, side, k))
+    return tuple(links)
 
 
 class FaultType(enum.Enum):
@@ -367,6 +383,22 @@ class FaultInjector:
         """Kill one leaf→spine physical link (Fig. 12's induced failure)."""
         link_id = topology.leaf_up(rail, side, spine, port)
         topology.network.fail_link(link_id)
+        return FaultEvent(
+            time=topology.network.now,
+            fault_type=FaultType.LINK_FAILURE,
+            fault_class=FaultClass.DEGRADE,
+            is_local=False,
+            component=None,
+        )
+
+    def fail_spine(self, topology: ClusterTopology, rail: int, spine: int) -> FaultEvent:
+        """Take every fabric link of one spine down at once.
+
+        Models an unannounced spine maintenance or a spine switch dying —
+        the correlated-fabric analogue of :meth:`sample_cascades`.
+        """
+        for link_id in spine_fabric_links(topology.spec, rail, spine):
+            topology.network.fail_link(link_id)
         return FaultEvent(
             time=topology.network.now,
             fault_type=FaultType.LINK_FAILURE,

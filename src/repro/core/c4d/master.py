@@ -39,6 +39,15 @@ class C4DMaster:
     cooldown:
         Seconds during which an identical (type, comm, suspects) anomaly
         is not re-reported — detection is continuous, action is not.
+    c4p:
+        Optional C4P master (any object with
+        ``notify_connection_anomaly(src, dst, now)``).  When the delay
+        matrix localizes a *connection* (a single hot cell implicating
+        one worker pair rather than a whole row/column), the fault is a
+        fabric property, not a compute one — so the C4D master forwards
+        it to the traffic-engineering plane, which strike-counts the
+        links under that connection and quarantines the implicated one
+        so other tenants stop placing traffic on it.
 
     Two robustness gates (configured via :class:`DetectorConfig`) sit in
     front of reporting:
@@ -61,11 +70,13 @@ class C4DMaster:
         steering: Optional[JobSteeringService] = None,
         rca: Optional[RootCauseAnalyzer] = None,
         cooldown: float = 300.0,
+        c4p=None,
     ) -> None:
         self.collector = collector
         self.config = config or DetectorConfig()
         self.steering = steering
         self.rca = rca
+        self.c4p = c4p
         self.cooldown = cooldown
         self.detectors = [
             HangDetector(collector, self.config),
@@ -125,6 +136,8 @@ class C4DMaster:
             self.anomalies.append(anomaly)
             if self.rca is not None:
                 self.rca.submit(anomaly)
+            if self.c4p is not None:
+                self._forward_connection_suspects(anomaly, now)
             if self.steering is not None and anomaly.anomaly_type in (
                 AnomalyType.COMM_HANG,
                 AnomalyType.NONCOMM_HANG,
@@ -135,6 +148,21 @@ class C4DMaster:
                     self._node_last_action[node] = now
                 self.actions.append(self.steering.handle(anomaly, now))
         return fresh
+
+    def _forward_connection_suspects(self, anomaly: Anomaly, now: float) -> None:
+        """C4D → C4P: hand single-cell (connection) findings to traffic engineering."""
+        if anomaly.anomaly_type is not AnomalyType.COMM_SLOW:
+            return
+        for suspect in anomaly.suspects:
+            if suspect.kind is not SuspectKind.CONNECTION:
+                continue
+            if suspect.node is None or suspect.peer_node is None:
+                continue
+            self.c4p.notify_connection_anomaly(
+                (suspect.node, suspect.device or 0),
+                (suspect.peer_node, suspect.peer_device or 0),
+                now,
+            )
 
     @staticmethod
     def _aggregate_by_node(fresh: list[Anomaly], now: float) -> list[Anomaly]:

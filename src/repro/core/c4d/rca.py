@@ -8,7 +8,7 @@ distributions that operations teams — and Table I — consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cluster.faults import FaultEvent

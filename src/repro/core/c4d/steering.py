@@ -21,7 +21,7 @@ replacements-shorter-than-isolations convention.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -12,17 +12,30 @@ Cluster-scale traffic engineering for collective communication:
    continuously measures.
 """
 
-from repro.core.c4p.registry import PathRegistry
+from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
 from repro.core.c4p.probing import PathProber, ProbeResult
-from repro.core.c4p.master import C4PMaster
+from repro.core.c4p.health import LinkHealthConfig, LinkHealthState, LinkHealthTracker
+from repro.core.c4p.master import (
+    AllocationRecord,
+    C4PMaster,
+    DrainReport,
+    MaintenanceReport,
+)
 from repro.core.c4p.selector import C4PSelector
 from repro.core.c4p.load_balance import DynamicLoadBalancer, LoadBalancerConfig
 
 __all__ = [
     "PathRegistry",
+    "PathPoolExhausted",
     "PathProber",
     "ProbeResult",
+    "LinkHealthConfig",
+    "LinkHealthState",
+    "LinkHealthTracker",
+    "AllocationRecord",
     "C4PMaster",
+    "DrainReport",
+    "MaintenanceReport",
     "C4PSelector",
     "DynamicLoadBalancer",
     "LoadBalancerConfig",

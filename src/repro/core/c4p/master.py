@@ -1,4 +1,4 @@
-"""The C4P master: multi-tenant path allocation.
+"""The C4P master: multi-tenant path allocation and fabric fault tolerance.
 
 Unlike the single-job C4D master, the C4P master is the control center
 for every job in the cluster (Fig. 8): it probes the fabric at start-up,
@@ -11,20 +11,71 @@ tenant's ACCL so that
 * QPs from servers under one leaf spread over all spines, and
 * allocation counts stay balanced across every fabric link, across
   jobs.
+
+Runtime fault tolerance (the Fig. 12/13 behaviours) is built from three
+pieces:
+
+* a **reverse index** (fabric link → allocated QPs) kept alongside the
+  allocation table, so a failure can name its victims in O(1);
+* **drain-and-migrate** — :meth:`notify_link_failure` and failed
+  periodic re-probes move every QP off a dead link onto the
+  least-loaded healthy routes (crash-safe: a migration that finds no
+  healthy route rolls back and leaves the QP stranded-but-consistent);
+* a **link health state machine** with flap damping
+  (:mod:`repro.core.c4p.health`): failed links sit out an exponential
+  hold-down and must pass consecutive incremental probes before
+  :meth:`maintenance` re-admits them — ``registry.dead_links`` is no
+  longer a roach motel that only a full catalog rebuild empties.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
 from repro.cluster.topology import ClusterTopology, PathChoice
 from repro.collective.selectors import PathRequest, QpAllocation, ROCE_DST_PORT
+from repro.core.c4p.health import LinkHealthConfig, LinkHealthState, LinkHealthTracker
 from repro.core.c4p.probing import PathProber
-from repro.core.c4p.registry import PathRegistry
+from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
 from repro.netsim.routing import FiveTuple
 
 _qp_counter = itertools.count(500000)
+
+
+@dataclass
+class AllocationRecord:
+    """Everything needed to migrate one live QP without its owner."""
+
+    rail: int
+    request: PathRequest
+    alloc: QpAllocation
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """Outcome of draining one dead link."""
+
+    link_id: tuple
+    #: Allocations moved onto healthy routes (updated in place).
+    migrated: tuple[QpAllocation, ...]
+    #: QP numbers left on the dead link (no healthy route existed).
+    stranded: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one periodic incremental re-probe pass."""
+
+    probed: int
+    #: Links that failed re-probe this pass (silent failures caught).
+    newly_dead: tuple[tuple, ...]
+    #: Links re-admitted after hold-down + probation.
+    recovered: tuple[tuple, ...]
+    migrated_qps: int
+    stranded_qps: int
+    drains: tuple[DrainReport, ...] = field(default=())
 
 
 class C4PMaster:
@@ -47,6 +98,11 @@ class C4PMaster:
         on larger pods a route's exact (uplink, downlink) pair may have
         no matching port, which is why the production system probes and
         catalogs ports rather than solving for them on demand.
+    health_config:
+        Flap-damping tunables for the link health state machine.
+    link_strike_threshold:
+        Distinct connection anomalies (C4D single-cell findings) that
+        must implicate a link before the master quarantines it.
     """
 
     def __init__(
@@ -54,10 +110,13 @@ class C4PMaster:
         topology: ClusterTopology,
         enforce_plane: bool = True,
         search_ports: bool | None = None,
+        health_config: Optional[LinkHealthConfig] = None,
+        link_strike_threshold: int = 2,
     ) -> None:
         self.topology = topology
         self.registry = PathRegistry(topology)
         self.prober = PathProber(topology)
+        self.health = LinkHealthTracker(health_config)
         self.enforce_plane = enforce_plane
         if search_ports is None:
             spec = topology.spec
@@ -67,8 +126,20 @@ class C4PMaster:
             # good probability; keep an 8x margin.
             search_ports = up_fanout * down_fanout <= 2048
         self.search_ports = search_ports
-        #: (request key, qp index) bookkeeping for release.
-        self._allocated: dict[int, tuple[int, PathChoice]] = {}
+        if link_strike_threshold < 1:
+            raise ValueError("link_strike_threshold must be >= 1")
+        self.link_strike_threshold = link_strike_threshold
+        #: QP number -> live allocation record.
+        self._allocated: dict[int, AllocationRecord] = {}
+        #: Reverse index: fabric link id -> QP numbers routed over it.
+        self._link_qps: dict[tuple, set[int]] = {}
+        #: Link id -> connection keys whose anomalies implicated it.
+        self._link_strikes: dict[tuple, set[tuple]] = {}
+        #: Called with (request, alloc) after each drain migration, so
+        #: transports can reroute in-flight traffic onto the new path.
+        self.migration_listener: Optional[
+            Callable[[PathRequest, QpAllocation], None]
+        ] = None
         self._synthetic_port = itertools.count(49152)
         self.refresh_catalog()
 
@@ -77,24 +148,169 @@ class C4PMaster:
     # ------------------------------------------------------------------
     def refresh_catalog(self) -> None:
         """Probe every rail and rebuild the dead-link catalog."""
+        now = self.topology.network.now
         self.registry.dead_links.clear()
         for rail in range(self.topology.spec.rails):
             for result in self.prober.full_mesh(rail):
                 if result.healthy:
                     continue
                 choice = result.choice
-                up = self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port)
-                down = self.topology.spine_down(
-                    rail, choice.spine, choice.dst_side, choice.down_port
-                )
-                if not self.topology.network.link(up).is_up:
-                    self.registry.mark_dead(up)
-                if not self.topology.network.link(down).is_up:
-                    self.registry.mark_dead(down)
+                up, down = self.registry.links_of(rail, choice)
+                for link in (up, down):
+                    if not self.topology.network.link(link).is_up:
+                        self._quarantine(link, now)
 
-    def notify_link_failure(self, link_id: tuple) -> None:
-        """Out-of-band failure notification (faster than a re-probe)."""
+    def _quarantine(self, link_id: tuple, now: float) -> None:
+        """Exclude a link and start (or escalate) its hold-down."""
         self.registry.mark_dead(link_id)
+        if self.health.state_of(link_id) is not LinkHealthState.QUARANTINED:
+            self.health.record_failure(link_id, now)
+
+    def notify_link_failure(
+        self, link_id: tuple, now: Optional[float] = None, drain: bool = True
+    ) -> DrainReport:
+        """Out-of-band failure notification (faster than a re-probe).
+
+        Quarantines the link under the flap-damping hold-down and — when
+        ``drain`` is set — immediately migrates every QP routed over it
+        (``drain=False`` is the static-traffic-engineering mode, where
+        the fabric's own ECMP reconvergence moves displaced flows).
+        """
+        if now is None:
+            now = self.topology.network.now
+        self.registry.mark_dead(link_id)
+        self.health.record_failure(link_id, now)
+        if not drain:
+            return DrainReport(link_id=link_id, migrated=(), stranded=())
+        return self.drain_link(link_id)
+
+    def drain_link(self, link_id: tuple) -> DrainReport:
+        """Migrate every QP allocated over a dead link to healthy routes.
+
+        Each victim is reallocated through the crash-safe
+        :meth:`reallocate`; QPs for which the plane has no healthy route
+        left stay stranded (books untouched) until capacity returns.
+        Migrated allocations get their load-balancer weight reset so the
+        dynamic balancer re-converges from even shares (Fig. 12b).
+        """
+        migrated: list[QpAllocation] = []
+        stranded: list[int] = []
+        for qp_num in sorted(self._link_qps.get(link_id, ())):
+            record = self._allocated.get(qp_num)
+            if record is None:
+                continue
+            try:
+                self.reallocate(record.request, record.alloc)
+            except PathPoolExhausted:
+                stranded.append(qp_num)
+                continue
+            record.alloc.weight = 1.0
+            migrated.append(record.alloc)
+            if self.migration_listener is not None:
+                self.migration_listener(record.request, record.alloc)
+        return DrainReport(
+            link_id=link_id, migrated=tuple(migrated), stranded=tuple(stranded)
+        )
+
+    def maintenance(self, now: Optional[float] = None) -> MaintenanceReport:
+        """One incremental re-probe pass: catch silent failures, readmit healed links.
+
+        * every link currently carrying allocations is re-probed; a
+          failed probe is treated exactly like an out-of-band failure
+          notification (quarantine + drain);
+        * every dead link is re-probed through the health state machine;
+          links that pass probation are returned to the allocation pool.
+        """
+        if now is None:
+            now = self.topology.network.now
+        newly_dead: list[tuple] = []
+        recovered: list[tuple] = []
+        drains: list[DrainReport] = []
+
+        active = [
+            link
+            for link, qps in self._link_qps.items()
+            if qps and self.registry.is_usable(link)
+        ]
+        for link, healthy in self.prober.reprobe(active).items():
+            if healthy:
+                continue
+            newly_dead.append(link)
+            drains.append(self.notify_link_failure(link, now))
+
+        dead = sorted(self.registry.dead_links)
+        for link, healthy in self.prober.reprobe(dead).items():
+            state = self.health.record_probe(link, now, healthy)
+            if state is LinkHealthState.HEALTHY:
+                self.registry.mark_alive(link)
+                self._link_strikes.pop(link, None)
+                recovered.append(link)
+        return MaintenanceReport(
+            probed=len(active) + len(dead),
+            newly_dead=tuple(newly_dead),
+            recovered=tuple(recovered),
+            migrated_qps=sum(len(d.migrated) for d in drains),
+            stranded_qps=sum(len(d.stranded) for d in drains),
+            drains=tuple(drains),
+        )
+
+    def attach_to(
+        self, network, interval: float = 30.0, until: Optional[float] = None
+    ) -> None:
+        """Arm periodic :meth:`maintenance` on a simulation event loop."""
+
+        def tick() -> None:
+            self.maintenance(network.now)
+            if until is None or network.now + interval <= until:
+                network.schedule(interval, tick)
+
+        network.schedule(interval, tick)
+
+    # ------------------------------------------------------------------
+    # C4D -> C4P: delay-matrix link localization
+    # ------------------------------------------------------------------
+    def notify_connection_anomaly(
+        self,
+        src_worker: tuple[int, int],
+        dst_worker: tuple[int, int],
+        now: Optional[float] = None,
+    ) -> tuple[tuple, ...]:
+        """Fold a C4D single-cell (connection) anomaly into link health.
+
+        A single hot cell in the delay matrix accuses one connection;
+        its QPs cross a handful of fabric links.  One accusation cannot
+        disambiguate which of them is sick, so the master counts
+        *strikes*: each distinct accused connection adds one strike to
+        every fabric link it occupies, and a link implicated by
+        ``link_strike_threshold`` distinct connections is quarantined
+        and drained — so other tenants stop placing traffic on it.  If
+        the accusation was wrong, the periodic re-probe walks the link
+        back in through hold-down + probation.
+
+        Returns the links quarantined by this notification.
+        """
+        if now is None:
+            now = self.topology.network.now
+        src = tuple(src_worker)
+        dst = tuple(dst_worker)
+        conn_key = (src, dst)
+        links: set[tuple] = set()
+        for record in self._allocated.values():
+            req = record.request
+            if (req.src_node, req.src_nic) != src or (req.dst_node, req.dst_nic) != dst:
+                continue
+            links.update(self.registry.links_of(record.rail, record.alloc.choice))
+        quarantined: list[tuple] = []
+        for link in sorted(links):
+            if link in self.registry.dead_links:
+                continue
+            strikes = self._link_strikes.setdefault(link, set())
+            strikes.add(conn_key)
+            if len(strikes) >= self.link_strike_threshold:
+                self.notify_link_failure(link, now)
+                self._link_strikes.pop(link, None)
+                quarantined.append(link)
+        return tuple(quarantined)
 
     # ------------------------------------------------------------------
     # Allocation API (called by per-job selectors)
@@ -126,32 +342,46 @@ class C4PMaster:
                 choice=choice,
                 path=path,
             )
-            self._allocated[alloc.qp_num] = (rail, choice)
+            record = AllocationRecord(rail=rail, request=request, alloc=alloc)
+            self._allocated[alloc.qp_num] = record
+            self._index(record)
             allocations.append(alloc)
         return allocations
 
     def release(self, request: PathRequest, allocations: Sequence[QpAllocation]) -> None:
         """Return a connection's routes to the pool."""
         for alloc in allocations:
-            entry = self._allocated.pop(alloc.qp_num, None)
-            if entry is not None:
-                rail, choice = entry
-                self.registry.release(rail, choice)
+            record = self._allocated.pop(alloc.qp_num, None)
+            if record is not None:
+                self._deindex(record)
+                self.registry.release(record.rail, record.alloc.choice)
 
     def reallocate(self, request: PathRequest, alloc: QpAllocation) -> QpAllocation:
-        """Move one QP onto a fresh healthy route (load-balancer action).
+        """Move one QP onto a fresh healthy route (drain / balancer action).
 
         The QP identity and source plane are preserved; only the fabric
         route (and hence source port) changes.  The old route's load is
         released first so the new acquisition sees accurate counts.
+
+        Crash-safe: when no healthy route exists the old entry is rolled
+        back — allocation table, reverse index and link loads all read
+        exactly as before the attempt — and :class:`PathPoolExhausted`
+        propagates for the caller to handle.
         """
         rail = self.topology.rail_of(request.src_nic)
-        entry = self._allocated.pop(alloc.qp_num, None)
-        if entry is not None:
-            self.registry.release(*entry)
+        record = self._allocated.get(alloc.qp_num)
+        if record is not None:
+            self._deindex(record)
+            self.registry.release(record.rail, record.alloc.choice)
         side = alloc.choice.src_side
         dst_side = side if self.enforce_plane else alloc.choice.dst_side
-        choice = self.registry.acquire(rail, side, dst_side=dst_side)
+        try:
+            choice = self.registry.acquire(rail, side, dst_side=dst_side)
+        except PathPoolExhausted:
+            if record is not None:
+                self.registry.reinstate(record.rail, record.alloc.choice)
+                self._index(record)
+            raise
         src_nic_obj = self.topology.node(request.src_node).nics[request.src_nic]
         dst_nic_obj = self.topology.node(request.dst_node).nics[request.dst_nic]
         src_port = self._source_port(
@@ -168,8 +398,43 @@ class C4PMaster:
         alloc.path = self.topology.resolve_path(
             request.src_node, request.src_nic, request.dst_node, request.dst_nic, choice
         )
-        self._allocated[alloc.qp_num] = (rail, choice)
+        if record is None:
+            record = AllocationRecord(rail=rail, request=request, alloc=alloc)
+        record.rail = rail
+        record.request = request
+        self._allocated[alloc.qp_num] = record
+        self._index(record)
         return alloc
+
+    # ------------------------------------------------------------------
+    # Reverse-index bookkeeping and introspection
+    # ------------------------------------------------------------------
+    def _index(self, record: AllocationRecord) -> None:
+        for link in self.registry.links_of(record.rail, record.alloc.choice):
+            self._link_qps.setdefault(link, set()).add(record.alloc.qp_num)
+
+    def _deindex(self, record: AllocationRecord) -> None:
+        for link in self.registry.links_of(record.rail, record.alloc.choice):
+            qps = self._link_qps.get(link)
+            if qps is not None:
+                qps.discard(record.alloc.qp_num)
+                if not qps:
+                    del self._link_qps[link]
+
+    def qps_on_link(self, link_id: tuple) -> tuple[int, ...]:
+        """QP numbers currently routed over one fabric link."""
+        return tuple(sorted(self._link_qps.get(link_id, ())))
+
+    def residual_qps_on_dead_links(self) -> tuple[int, ...]:
+        """QPs the master still has placed on links it knows are dead."""
+        residual: set[int] = set()
+        for link in self.registry.dead_links:
+            residual.update(self._link_qps.get(link, ()))
+        return tuple(sorted(residual))
+
+    def allocation_count(self) -> int:
+        """Live allocations in the table (for invariant checks)."""
+        return len(self._allocated)
 
     def _source_port(self, src_ip: str, dst_ip: str, rail: int, choice: PathChoice) -> int:
         if not self.search_ports:

@@ -78,6 +78,20 @@ class PathProber:
             f"no source port in {port_range} steers onto {choice} (rail {rail})"
         )
 
+    def reprobe(self, links) -> dict[tuple, bool]:
+        """Incrementally verify specific fabric links.
+
+        Re-running :meth:`full_mesh` costs O(routes); runtime fault
+        handling only needs the health of the handful of links that are
+        quarantined or currently carrying allocations.  Each probe sends
+        (in production) a packet over a route pinned to the link; in the
+        simulation the verdict is the link's operational state.  Returns
+        ``{link_id: healthy}``.
+        """
+        return {
+            link_id: self.topology.network.link(link_id).is_up for link_id in links
+        }
+
     def probe_route(self, rail: int, choice: PathChoice) -> bool:
         """Verify a route's links end-to-end (fabric tier only)."""
         topo = self.topology

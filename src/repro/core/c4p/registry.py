@@ -15,6 +15,16 @@ import itertools
 from repro.cluster.topology import ClusterTopology, PathChoice
 
 
+class PathPoolExhausted(RuntimeError):
+    """No healthy route satisfies an acquisition (every candidate dead).
+
+    Typed so callers — the master's drain path, the per-job selector —
+    can distinguish "this plane has no capacity right now" from a
+    programming error and degrade gracefully (leave the QP stranded,
+    retry after the next re-probe) instead of crashing the job.
+    """
+
+
 class PathRegistry:
     """Allocation counts and least-loaded route selection."""
 
@@ -53,31 +63,42 @@ class PathRegistry:
 
         Selection is greedy two-stage: the least-loaded (spine, uplink
         port), then the least-loaded downlink port of that spine — which
-        keeps both tiers balanced at O(fanout) cost.
+        keeps both tiers balanced at O(fanout) cost.  Equal-load ties
+        are broken by rotating the scan start with a round-robin
+        counter, so the first wave of allocations (all loads zero)
+        spreads across spines instead of piling onto index 0.
         """
         if dst_side is None:
             dst_side = src_side
         spec = self.topology.spec
         topo = self.topology
+        offset = next(self._rr)
 
+        ups = [
+            (spine, k)
+            for spine in topo.enabled_spines(rail)
+            for k in range(spec.uplink_ports_per_spine)
+        ]
         best_up = None
         best_up_load = None
-        for spine in topo.enabled_spines(rail):
-            for k in range(spec.uplink_ports_per_spine):
-                link = topo.leaf_up(rail, src_side, spine, k)
-                if not self.is_usable(link):
-                    continue
-                load = self.link_load.get(link, 0)
-                if best_up_load is None or load < best_up_load:
-                    best_up_load = load
-                    best_up = (spine, k)
+        for i in range(len(ups)):
+            spine, k = ups[(offset + i) % len(ups)]
+            link = topo.leaf_up(rail, src_side, spine, k)
+            if not self.is_usable(link):
+                continue
+            load = self.link_load.get(link, 0)
+            if best_up_load is None or load < best_up_load:
+                best_up_load = load
+                best_up = (spine, k)
         if best_up is None:
-            raise RuntimeError(f"no healthy uplink on rail {rail} side {src_side}")
+            raise PathPoolExhausted(f"no healthy uplink on rail {rail} side {src_side}")
         spine, up_port = best_up
 
+        downs = list(range(spec.uplink_ports_per_spine))
         best_down = None
         best_down_load = None
-        for k in range(spec.uplink_ports_per_spine):
+        for i in range(len(downs)):
+            k = downs[(offset + i) % len(downs)]
             link = topo.spine_down(rail, spine, dst_side, k)
             if not self.is_usable(link):
                 continue
@@ -86,7 +107,7 @@ class PathRegistry:
                 best_down_load = load
                 best_down = k
         if best_down is None:
-            raise RuntimeError(
+            raise PathPoolExhausted(
                 f"no healthy downlink from spine {spine} to rail {rail} side {dst_side}"
             )
 
@@ -104,14 +125,28 @@ class PathRegistry:
         """Return a previously acquired route's load."""
         self._count(rail, choice, -1)
 
+    def reinstate(self, rail: int, choice: PathChoice) -> None:
+        """Re-count a released route (rollback of a failed reallocation).
+
+        Unlike :meth:`acquire` this never selects — it restores the load
+        of a specific, previously held route so a failed migration
+        leaves the books exactly as they were.
+        """
+        self._count(rail, choice, +1)
+
     def load_of(self, link_id: tuple) -> int:
         """Current allocated QP count on one link."""
         return self.link_load.get(link_id, 0)
 
+    def links_of(self, rail: int, choice: PathChoice) -> tuple[tuple, tuple]:
+        """The (uplink, downlink) fabric link ids a route occupies."""
+        return (
+            self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port),
+            self.topology.spine_down(rail, choice.spine, choice.dst_side, choice.down_port),
+        )
+
     def _count(self, rail: int, choice: PathChoice, delta: int) -> None:
-        up = self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port)
-        down = self.topology.spine_down(rail, choice.spine, choice.dst_side, choice.down_port)
-        for link in (up, down):
+        for link in self.links_of(rail, choice):
             self.link_load[link] = self.link_load.get(link, 0) + delta
             if self.link_load[link] < 0:
                 raise AssertionError(f"negative load on {link!r}")

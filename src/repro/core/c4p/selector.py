@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.cluster.topology import ClusterTopology
 from repro.collective.selectors import EcmpPathSelector, PathRequest, QpAllocation
 from repro.core.c4p.master import C4PMaster
+from repro.core.c4p.registry import PathPoolExhausted
 from repro.netsim.flows import Flow
 from repro.netsim.links import Link
 
@@ -49,15 +50,39 @@ class C4PSelector:
 
     def on_link_down(self, link: Link, flows: Sequence[Flow]) -> None:
         """React to a failed link according to the configured mode."""
-        self.master.notify_link_failure(link.link_id)
         if not self.dynamic:
-            # Static traffic engineering: the fabric reroutes on its own.
+            # Static traffic engineering: the master blacklists the link
+            # for *future* allocations but does not touch placed QPs —
+            # the fabric reroutes on its own.
+            self.master.notify_link_failure(link.link_id, drain=False)
             self._ecmp_fallback.on_link_down(link, flows)
             return
+        report = self.master.notify_link_failure(link.link_id)
+        migrated = {alloc.qp_num for alloc in report.migrated}
+        stranded = set(report.stranded)
+        touched_connections = []
         for flow in flows:
             request: PathRequest | None = flow.metadata.get("request")
             alloc: QpAllocation | None = flow.metadata.get("qp")
             if request is None or alloc is None:
                 continue
-            self.master.reallocate(request, alloc)
+            if alloc.qp_num in stranded:
+                # No healthy route on this plane right now; the QP keeps
+                # its books and retries after the next re-probe pass.
+                continue
+            if alloc.qp_num not in migrated:
+                # A flow the drain did not know about (e.g. allocated
+                # outside the master); migrate it best-effort.
+                try:
+                    self.master.reallocate(request, alloc)
+                except PathPoolExhausted:
+                    continue
             flow.reroute(alloc.path)
+            conn = flow.metadata.get("connection")
+            if conn is not None and conn not in touched_connections:
+                touched_connections.append(conn)
+        # Reset affected connections' weights so the dynamic balancer
+        # re-converges from even shares on the new routes (Fig. 12b).
+        for conn in touched_connections:
+            for qp in conn.allocations:
+                conn.set_qp_weight(qp, 1.0)

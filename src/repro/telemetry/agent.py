@@ -120,7 +120,10 @@ class AgentPlane:
         #: Optional callable returning simulated time, used to timestamp
         #: communicator registration.
         if clock is None and network is not None:
-            clock = lambda: network.now
+
+            def clock():
+                return network.now
+
         self._clock = clock or (lambda: 0.0)
 
     @property

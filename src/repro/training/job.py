@@ -14,7 +14,7 @@ Throughput is reported in samples/s, the unit of the paper's Fig. 14.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

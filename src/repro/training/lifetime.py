@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster.faults import FaultEvent, FaultInjector, FaultRates
+from repro.cluster.faults import FaultInjector, FaultRates
 from repro.core.c4d.classifier import CauseBucket, classify_fault
 from repro.training.checkpoint import (
     CheckpointPolicy,

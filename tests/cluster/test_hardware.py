@@ -1,6 +1,6 @@
 """Tests for hardware inventory objects."""
 
-from repro.cluster.hardware import ComponentHealth, Gpu, Nic, NicPort, Node, PortSide
+from repro.cluster.hardware import ComponentHealth, Nic, Node, PortSide
 
 
 def test_node_build_counts():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES
+from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology, PathChoice
 from repro.netsim.network import FlowNetwork
 from repro.netsim.routing import FiveTuple

@@ -1,7 +1,5 @@
 """Tests for the collective engine."""
 
-import math
-
 import pytest
 
 from repro.cluster.specs import TESTBED_16_NODES
@@ -12,7 +10,7 @@ from repro.collective.monitoring import RecordingSink
 from repro.collective.placement import contiguous_ranks
 from repro.collective.communicator import RankLocation
 from repro.netsim.network import FlowNetwork
-from repro.netsim.units import GIB, GBPS
+from repro.netsim.units import GIB
 
 
 def make_ctx(seed=1, **kwargs):

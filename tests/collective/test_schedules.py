@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.collective.algorithms import Algorithm, OpType, traffic_factor
+from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import Communicator
 from repro.collective.context import CollectiveContext
 from repro.collective.placement import contiguous_ranks

@@ -1,0 +1,128 @@
+"""Tests for the C4D -> C4P feed: connection-level anomalies reach TE.
+
+When the delay matrix localizes a *single connection* (one hot cell, not
+a whole row or column), the fault lives in the fabric, so the C4D master
+forwards the worker pair to the C4P master, which strike-counts the
+links under that connection.
+"""
+
+from repro.cluster.specs import ClusterSpec
+from repro.cluster.topology import ClusterTopology
+from repro.collective.selectors import PathRequest
+from repro.core.c4d.detectors import DetectorConfig
+from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
+from repro.core.c4d.master import C4DMaster
+from repro.core.c4p.master import C4PMaster
+from repro.netsim.network import FlowNetwork
+from repro.telemetry.collector import CentralCollector
+
+
+class StubDetector:
+    """Replays a fixed list of anomalies once, then goes quiet."""
+
+    def __init__(self, anomalies):
+        self._anomalies = list(anomalies)
+
+    def evaluate(self, now):
+        out, self._anomalies = self._anomalies, []
+        return out
+
+
+class RecordingC4P:
+    def __init__(self):
+        self.calls = []
+
+    def notify_connection_anomaly(self, src, dst, now=None):
+        self.calls.append((src, dst, now))
+        return ()
+
+
+def connection_anomaly(src=0, dst=1, atype=AnomalyType.COMM_SLOW, comm="c0"):
+    return Anomaly(
+        anomaly_type=atype,
+        comm_id=comm,
+        detected_at=10.0,
+        suspects=(
+            Suspect(
+                kind=SuspectKind.CONNECTION,
+                node=src,
+                device=0,
+                peer_node=dst,
+                peer_device=0,
+            ),
+        ),
+    )
+
+
+def make_master(anomalies, c4p):
+    master = C4DMaster(
+        CentralCollector(),
+        config=DetectorConfig(debounce_evaluations=1),
+        c4p=c4p,
+    )
+    master.detectors = [StubDetector(anomalies)]
+    return master
+
+
+def test_connection_suspect_forwarded_to_c4p():
+    c4p = RecordingC4P()
+    master = make_master([connection_anomaly(src=2, dst=5)], c4p)
+    fresh = master.evaluate(now=42.0)
+    assert len(fresh) == 1
+    assert c4p.calls == [((2, 0), (5, 0), 42.0)]
+
+
+def test_non_connection_suspects_not_forwarded():
+    c4p = RecordingC4P()
+    worker = Anomaly(
+        anomaly_type=AnomalyType.COMM_SLOW,
+        comm_id="c0",
+        detected_at=10.0,
+        suspects=(Suspect(kind=SuspectKind.WORKER, node=3, device=0),),
+    )
+    master = make_master([worker], c4p)
+    master.evaluate(now=42.0)
+    assert c4p.calls == []
+
+
+def test_non_comm_slow_anomalies_not_forwarded():
+    c4p = RecordingC4P()
+    hang = connection_anomaly(atype=AnomalyType.COMM_HANG)
+    master = make_master([hang], c4p)
+    master.evaluate(now=42.0)
+    assert c4p.calls == []
+
+
+def test_no_c4p_attached_is_safe():
+    master = make_master([connection_anomaly()], c4p=None)
+    master.c4p = None
+    assert len(master.evaluate(now=42.0)) == 1
+
+
+def test_feed_drives_real_c4p_quarantine():
+    # End to end against the real traffic-engineering plane: two distinct
+    # accused connections share one uplink on a 1-spine/1-port spec, so
+    # the second forwarded anomaly quarantines it.
+    spec = ClusterSpec(num_nodes=4, spines_per_rail=1, uplink_ports_per_spine=1)
+    topo = ClusterTopology(spec, FlowNetwork(), ecmp_seed=1)
+    c4p = C4PMaster(topo, search_ports=False, link_strike_threshold=2)
+    allocs = []
+    for src, dst, comm in ((0, 1, "a"), (2, 3, "b")):
+        allocs += c4p.allocate(
+            PathRequest(
+                comm_id=comm, job_id="j", src_node=src, src_nic=0,
+                dst_node=dst, dst_nic=0, num_qps=1,
+            )
+        )
+    master = make_master(
+        [connection_anomaly(0, 1, comm="a"), connection_anomaly(2, 3, comm="b")],
+        c4p,
+    )
+    master.evaluate(now=50.0)
+    shared = topo.leaf_up(0, 0, 0, 0)
+    assert shared in c4p.registry.dead_links
+    # The one-spine spec offers no alternative route, so the drain cannot
+    # migrate: both QPs are reported stranded rather than silently kept.
+    assert c4p.residual_qps_on_dead_links() == tuple(
+        sorted(a.qp_num for a in allocs)
+    )

@@ -1,7 +1,5 @@
 """Tests for the syndrome detectors over the collector."""
 
-import pytest
-
 from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import RankLocation
 from repro.collective.monitoring import (

@@ -8,8 +8,6 @@ job whose per-rank compute jitters randomly every step (token routing),
 with and without a genuinely slow GPU underneath.
 """
 
-import pytest
-
 from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import RankLocation
 from repro.collective.context import CollectiveContext

@@ -74,3 +74,20 @@ def test_full_mesh_with_port_search(prober):
     results = prober.full_mesh(0, find_ports=True)
     healthy = [r for r in results if r.healthy]
     assert all(49152 <= r.src_port < 65536 for r in healthy)
+
+
+def test_reprobe_reports_per_link_state(prober):
+    topo = prober.topology
+    dead = topo.leaf_up(0, 0, 2, 0)
+    alive_up = topo.leaf_up(0, 1, 3, 1)
+    alive_down = topo.spine_down(0, 4, 0, 2)
+    topo.network.fail_link(dead)
+    verdict = prober.reprobe([dead, alive_up, alive_down])
+    assert verdict == {dead: False, alive_up: True, alive_down: True}
+    # Restoring the link flips the next probe back to healthy.
+    topo.network.restore_link(dead)
+    assert prober.reprobe([dead]) == {dead: True}
+
+
+def test_reprobe_empty_is_noop(prober):
+    assert prober.reprobe([]) == {}

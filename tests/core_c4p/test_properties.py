@@ -1,9 +1,11 @@
-"""Property-based tests (hypothesis) for C4P's registry and probing."""
+"""Property-based tests (hypothesis) for C4P's registry, master and probing."""
 
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster.specs import ClusterSpec
 from repro.cluster.topology import ClusterTopology
+from repro.collective.selectors import PathRequest
+from repro.core.c4p.master import C4PMaster
 from repro.core.c4p.registry import PathRegistry
 from repro.netsim.network import FlowNetwork
 
@@ -75,3 +77,70 @@ def test_registry_never_hands_out_dead_links(rail, side, dead_index):
         choice = registry.acquire(rail, side)
         chosen = registry.topology.leaf_up(rail, side, choice.spine, choice.up_port)
         assert chosen != dead
+
+
+def build_master():
+    spec = ClusterSpec(num_nodes=4, spines_per_rail=4, uplink_ports_per_spine=2)
+    topo = ClusterTopology(spec, FlowNetwork(), ecmp_seed=0)
+    return C4PMaster(topo, search_ports=False)
+
+
+def _master_books(master):
+    """Link loads and reverse index recomputed from the allocation table."""
+    loads: dict[tuple, int] = {}
+    qps: dict[tuple, set[int]] = {}
+    for record in master._allocated.values():
+        for link in master.registry.links_of(record.rail, record.alloc.choice):
+            loads[link] = loads.get(link, 0) + 1
+            qps.setdefault(link, set()).add(record.alloc.qp_num)
+    return loads, qps
+
+
+@given(
+    st.lists(st.integers(0, 4), min_size=1, max_size=60),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_master_books_match_live_allocations(ops, rng):
+    """Any interleaving of allocate/release/reallocate/fail keeps the
+    registry's link_load exactly equal to the loads recomputed from the
+    live allocation table, keeps the reverse index in lockstep, and never
+    leaves a live allocation routed over a dead link."""
+    master = build_master()
+    live = []  # (request, allocations)
+    failures = 0
+    counter = 0
+    for op in ops:
+        if op <= 1 or not live:  # allocate
+            counter += 1
+            req = PathRequest(
+                comm_id=f"c{counter}", job_id="j",
+                src_node=counter % 4, src_nic=0,
+                dst_node=(counter + 1) % 4, dst_nic=0, num_qps=2,
+            )
+            live.append((req, master.allocate(req)))
+        elif op == 2:  # release
+            req, allocs = live.pop(rng.randrange(len(live)))
+            master.release(req, allocs)
+        elif op == 3:  # reallocate one QP in place
+            req, allocs = live[rng.randrange(len(live))]
+            master.reallocate(req, allocs[rng.randrange(len(allocs))])
+        elif failures < 2:  # fail a loaded link and drain it
+            loaded = sorted(
+                link for link in master._link_qps if master.qps_on_link(link)
+            )
+            if loaded:
+                link = loaded[rng.randrange(len(loaded))]
+                report = master.notify_link_failure(link, now=float(failures))
+                # 8 uplinks per plane, at most 2 dead: never exhausted.
+                assert report.stranded == ()
+                failures += 1
+        expected_loads, expected_qps = _master_books(master)
+        assert {k: v for k, v in master.registry.link_load.items() if v} == expected_loads
+        assert {
+            link: set(qs) for link, qs in master._link_qps.items() if qs
+        } == expected_qps
+        assert all(v >= 0 for v in master.registry.link_load.values())
+        for record in master._allocated.values():
+            for link in master.registry.links_of(record.rail, record.alloc.choice):
+                assert link not in master.registry.dead_links

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology
-from repro.core.c4p.registry import PathRegistry
+from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
 from repro.netsim.network import FlowNetwork
 
 
@@ -98,3 +98,51 @@ def test_sides_tracked_independently(registry):
 def test_explicit_cross_plane_allowed_when_requested(registry):
     choice = registry.acquire(0, 0, dst_side=1)
     assert choice.dst_side == 1
+
+
+def test_all_dead_raises_typed_error(registry):
+    spec = TESTBED_16_NODES
+    for spine in range(spec.spines_per_rail):
+        for k in range(spec.uplink_ports_per_spine):
+            registry.mark_dead(registry.topology.leaf_up(0, 0, spine, k))
+    with pytest.raises(PathPoolExhausted):
+        registry.acquire(0, 0)
+
+
+def test_tie_break_rotates_over_equal_loads(registry):
+    # Regression: with every load zero (acquire immediately released),
+    # static tie-breaking would pin every choice to spine 0 port 0.  The
+    # round-robin scan start must spread the first wave near-uniformly.
+    spec = TESTBED_16_NODES
+    fanout = spec.spines_per_rail * spec.uplink_ports_per_spine
+    up_hits: dict[tuple, int] = {}
+    down_hits: dict[int, int] = {}
+    for _ in range(fanout):
+        choice = registry.acquire(0, 0)
+        registry.release(0, choice)
+        up_hits[(choice.spine, choice.up_port)] = (
+            up_hits.get((choice.spine, choice.up_port), 0) + 1
+        )
+        down_hits[choice.down_port] = down_hits.get(choice.down_port, 0) + 1
+    # Every uplink hit exactly once across one full rotation...
+    assert len(up_hits) == fanout
+    assert set(up_hits.values()) == {1}
+    # ...and downlink ports cycle too instead of pinning to port 0.
+    assert len(down_hits) == spec.uplink_ports_per_spine
+
+
+def test_reinstate_restores_exact_route_load(registry):
+    choice = registry.acquire(0, 0)
+    registry.release(0, choice)
+    registry.reinstate(0, choice)
+    for link in registry.links_of(0, choice):
+        assert registry.load_of(link) == 1
+
+
+def test_links_of_names_both_tiers(registry):
+    choice = registry.acquire(0, 1)
+    up, down = registry.links_of(0, choice)
+    assert up == registry.topology.leaf_up(0, 1, choice.spine, choice.up_port)
+    assert down == registry.topology.spine_down(
+        0, choice.spine, choice.dst_side, choice.down_port
+    )

@@ -6,7 +6,6 @@ from repro.core.c4d.classifier import CauseBucket
 from repro.training.lifetime import (
     BASELINE_OPERATIONS,
     C4D_OPERATIONS,
-    DowntimeBreakdown,
     LifetimeConfig,
     OperationsModel,
     simulate_lifetime,

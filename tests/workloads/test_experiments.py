@@ -5,8 +5,6 @@ the runner/result/formatting machinery on the fast ones and the CLI's
 dispatch logic.
 """
 
-import pytest
-
 from repro.cli import main
 from repro.experiments import EXPERIMENTS, fig7, table1, table3
 

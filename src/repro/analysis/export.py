@@ -130,9 +130,16 @@ def scenario_scorecard_to_dict(card: ScenarioScorecard) -> dict:
     }
 
 
-def campaign_scorecard_to_dict(card: CampaignScorecard) -> dict:
-    """Serialize a full chaos campaign scorecard (the ``repro chaos`` payload)."""
-    return {
+def campaign_scorecard_to_dict(
+    card: CampaignScorecard, observability: dict | None = None
+) -> dict:
+    """Serialize a full chaos campaign scorecard (the ``repro chaos`` payload).
+
+    ``observability`` optionally embeds the campaign's observability
+    snapshot (``ObservabilityPlane.snapshot()``) so one archived document
+    carries both the judgment and the telemetry that explains it.
+    """
+    payload = {
         "precision": card.precision,
         "recall": card.recall,
         "false_isolations": card.false_isolations,
@@ -141,6 +148,9 @@ def campaign_scorecard_to_dict(card: CampaignScorecard) -> dict:
         "mttr": card.mttr_stats(),
         "scenarios": [scenario_scorecard_to_dict(s) for s in card.scenarios],
     }
+    if observability is not None:
+        payload["observability"] = observability
+    return payload
 
 
 def to_jsonable(value):

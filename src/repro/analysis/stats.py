@@ -26,10 +26,16 @@ class Summary:
 
 
 def summarize(values: Sequence[float]) -> Summary:
-    """Summarize a non-empty series."""
-    if not values:
+    """Summarize a non-empty series.
+
+    Accepts any array-like (list, tuple, generator, numpy array).  The
+    emptiness check runs on the converted array: ``not values`` would
+    raise the ambiguous-truth-value error on numpy input and silently
+    pass on a non-empty generator.
+    """
+    arr = np.asarray(list(values) if not hasattr(values, "__len__") else values, dtype=float)
+    if arr.size == 0:
         raise ValueError("cannot summarize an empty series")
-    arr = np.asarray(values, dtype=float)
     return Summary(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -41,7 +47,15 @@ def summarize(values: Sequence[float]) -> Summary:
 
 
 def improvement_percent(before: float, after: float) -> float:
-    """Relative improvement of ``after`` over ``before``, in percent."""
-    if before <= 0:
-        raise ValueError("before must be positive")
+    """Relative improvement of ``after`` over ``before``, in percent.
+
+    A zero or negative baseline makes "percent improvement" undefined,
+    so both are rejected with a distinct message instead of surfacing as
+    a ZeroDivisionError (or a sign-flipped percentage) at a call site
+    far from the bad input.
+    """
+    if before == 0:
+        raise ValueError("improvement is undefined for a zero baseline")
+    if before < 0:
+        raise ValueError(f"before must be positive, got {before!r}")
     return 100.0 * (after - before) / before

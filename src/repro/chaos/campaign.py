@@ -42,6 +42,8 @@ from repro.cluster.topology import ClusterTopology
 from repro.core.c4d.master import C4DMaster
 from repro.core.c4d.steering import JobSteeringService
 from repro.netsim.network import FlowNetwork
+from repro.obs.report import ObservabilityPlane
+from repro.obs.trace import FaultTracer
 from repro.telemetry.agent import AgentPlane
 from repro.telemetry.collector import CentralCollector
 from repro.telemetry.unreliable import UnreliableChannel
@@ -69,6 +71,11 @@ class ChaosCampaign:
     grace:
         Seconds past an episode window's end during which a detection
         still counts as true.
+    observability:
+        The :class:`~repro.obs.report.ObservabilityPlane` receiving this
+        campaign's metrics and fault spans.  ``None`` creates a private
+        plane, so every campaign is observable by default; read
+        ``campaign.obs.snapshot()`` after :meth:`run`.
     """
 
     def __init__(
@@ -76,11 +83,13 @@ class ChaosCampaign:
         scenarios: Optional[Sequence[ChaosScenario]] = None,
         seed: int = 0,
         grace: float = DEFAULT_GRACE,
+        observability: Optional[ObservabilityPlane] = None,
     ) -> None:
         self.scenarios = (
             list(scenarios) if scenarios is not None else default_campaign(seed)
         )
         self.grace = grace
+        self.obs = observability if observability is not None else ObservabilityPlane()
 
     def run(self) -> CampaignScorecard:
         """Execute every scenario; returns the aggregate scorecard."""
@@ -100,36 +109,68 @@ class ChaosCampaign:
 
     def run_scenario(self, scenario: ChaosScenario) -> ScenarioScorecard:
         """Execute one scenario of any kind."""
+        # Each scenario gets a private tracer — scenarios reuse node ids
+        # and each has its own simulated clock, so victim matching must
+        # never cross scenario boundaries.  The finished tracer is then
+        # folded into the campaign-wide plane (metrics were shared all
+        # along through self.obs.registry).
+        tracer = FaultTracer(metrics=self.obs.registry, grace=self.grace)
         if scenario.kind is ScenarioKind.RECOVERY:
-            return self._run_recovery(scenario)
-        if scenario.kind is ScenarioKind.FABRIC:
+            card = self._run_recovery(scenario, tracer)
+        elif scenario.kind is ScenarioKind.FABRIC:
             from repro.chaos.fabric import run_fabric_scenario
 
-            return run_fabric_scenario(scenario)
-        return self._run_pipeline(scenario)
+            card = run_fabric_scenario(
+                scenario, metrics=self.obs.registry, tracer=tracer
+            )
+        else:
+            card = self._run_pipeline(scenario, tracer)
+        self.obs.tracer.absorb(tracer)
+        return card
+
+    def _register_episodes(
+        self, scenario: ChaosScenario, tracer: FaultTracer
+    ) -> None:
+        """Open one fault span per ground-truth episode."""
+        for episode in scenario.episodes:
+            tracer.register_fault(
+                f"{scenario.name}/{episode.episode_id}",
+                kind=episode.kind,
+                victims=episode.nodes,
+                injected_at=episode.onset,
+                windows=episode.windows,
+            )
 
     # ------------------------------------------------------------------
     # PIPELINE: synthetic feed -> lossy channel -> master -> steering
     # ------------------------------------------------------------------
-    def _run_pipeline(self, scenario: ChaosScenario) -> ScenarioScorecard:
-        network = FlowNetwork()
+    def _run_pipeline(
+        self, scenario: ChaosScenario, tracer: FaultTracer
+    ) -> ScenarioScorecard:
+        registry = self.obs.registry
+        network = FlowNetwork(metrics=registry)
         spec = ClusterSpec(num_nodes=scenario.job_nodes + scenario.backup_nodes)
         topology = ClusterTopology(spec, network, ecmp_seed=scenario.seed)
-        collector = CentralCollector()
+        collector = CentralCollector(metrics=registry)
         channel = (
             UnreliableChannel(network, scenario.channel, seed=scenario.seed)
             if scenario.channel is not None
             else None
         )
-        plane = AgentPlane(collector, network=network, channel=channel)
+        plane = AgentPlane(collector, network=network, channel=channel, metrics=registry)
         backups = list(range(scenario.job_nodes, spec.num_nodes))
         steering = JobSteeringService(
             topology,
             backup_nodes=backups,
             config=scenario.steering,
             faults=scenario.steering_faults,
+            metrics=registry,
         )
-        master = C4DMaster(collector, scenario.detector, steering=steering)
+        master = C4DMaster(
+            collector, scenario.detector, steering=steering, metrics=registry,
+            tracer=tracer,
+        )
+        self._register_episodes(scenario, tracer)
         feed = SyntheticFeed(
             network,
             plane,
@@ -138,6 +179,7 @@ class ChaosCampaign:
             step_seconds=scenario.step_seconds,
             seed=scenario.seed,
         )
+        feed.symptom_observer = tracer.observe_symptom
 
         # Closing the loop: when steering acts, the current incarnation
         # is torn down, its communicator deregistered (straggler records
@@ -186,7 +228,10 @@ class ChaosCampaign:
     # ------------------------------------------------------------------
     # RECOVERY: crash -> detect -> isolate -> checkpoint fallback chain
     # ------------------------------------------------------------------
-    def _run_recovery(self, scenario: ChaosScenario) -> ScenarioScorecard:
+    def _run_recovery(
+        self, scenario: ChaosScenario, tracer: FaultTracer
+    ) -> ScenarioScorecard:
+        self._register_episodes(scenario, tracer)
         cluster = build_cluster(ecmp_seed=scenario.seed)
         scheduler = ClusterScheduler(cluster.topology, backup_ratio=1 / 16)
         checkpointer = InMemoryCheckpointer(
@@ -218,4 +263,11 @@ class ChaosCampaign:
 
             cluster.network.schedule(event.time, strike)
         cluster.network.run(until=scenario.duration)
+        # The orchestrator's report carries the lifecycle the tracer
+        # needs; replay it as detection/steer/recover stage observations.
+        for event in report.events:
+            tracer.detection(event.detected_at, event.isolated_nodes)
+            tracer.action(
+                event.detected_at, event.isolated_nodes, ready_at=event.resumed_at
+            )
         return score_recovery_scenario(scenario, report, grace=self.grace)

@@ -38,21 +38,44 @@ from repro.collective.selectors import PathRequest
 from repro.core.c4p.master import C4PMaster
 from repro.netsim.flows import Flow
 from repro.netsim.network import FlowNetwork
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import LATENCY_BUCKETS, FaultTracer
 
 #: Effectively infinite transfer: fabric flows run for the whole scenario.
 _FLOW_SIZE = 1e18
 
 
-def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
-    """Execute one FABRIC scenario end to end and score it."""
+def run_fabric_scenario(
+    scenario: ChaosScenario,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[FaultTracer] = None,
+) -> ScenarioScorecard:
+    """Execute one FABRIC scenario end to end and score it.
+
+    ``metrics``/``tracer`` attach the observability plane: the registry
+    receives the instrumented components' series plus the runner's
+    ``fabric_reroute_latency_seconds`` histogram, and each scheduled
+    ``down`` event gets a fault span traced inject → detect (the
+    out-of-band notification, or the maintenance pass that caught a
+    silent failure) → steer (first victim migration) → recover (last
+    victim migration).
+    """
     if scenario.kind is not ScenarioKind.FABRIC or scenario.fabric is None:
         raise ValueError(f"{scenario.name} is not a fabric scenario")
     plan = scenario.fabric
 
-    network = FlowNetwork()
+    registry = get_registry(metrics)
+    if tracer is None:
+        tracer = FaultTracer(metrics=registry)
+    m_reroute = registry.histogram(
+        "fabric_reroute_latency_seconds",
+        "Down event to last victim QP migrated",
+        buckets=LATENCY_BUCKETS,
+    )
+    network = FlowNetwork(metrics=registry)
     spec = TESTBED_16_NODES
     topology = ClusterTopology(spec, network, ecmp_seed=scenario.seed)
-    master = C4PMaster(topology, health_config=plan.health)
+    master = C4PMaster(topology, health_config=plan.health, metrics=registry)
     rng = np.random.default_rng(scenario.seed)
 
     # ------------------------------------------------------------------
@@ -130,6 +153,10 @@ def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
     event_records: list[dict] = []
     residual_checks: list[int] = []
     stranded_ever: set[int] = set()
+    #: Dead link -> fault id of the down event that killed it (silent
+    #: failures earn their ``detect`` stage at the maintenance pass that
+    #: finds them).
+    link_to_fault: dict[tuple, str] = {}
 
     def ground_truth_residual() -> int:
         """QPs whose flow still crosses a physically dead link."""
@@ -139,9 +166,38 @@ def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
             if any(not network.link(link_id).is_up for link_id in flow.path)
         )
 
+    fault_ids: list[Optional[str]] = []
+    down_index = 0
     for event in plan.events:
+        if event.action != "down":
+            fault_ids.append(None)
+            continue
+        fault_id = f"{scenario.name}/down{down_index}"
+        down_index += 1
+        fault_ids.append(fault_id)
+        # A later "up" restoring any of the same links closes the
+        # activity window; a permanent failure stays open.
+        window_end = min(
+            (
+                up.time
+                for up in plan.events
+                if up.action == "up"
+                and up.time > event.time
+                and set(up.links) & set(event.links)
+            ),
+            default=float("inf"),
+        )
+        tracer.register_fault(
+            fault_id,
+            kind="link_down" if event.notify else "link_down_silent",
+            victims=tuple(str(link) for link in event.links),
+            injected_at=event.time,
+            windows=((event.time, window_end),),
+        )
 
-        def fire(event=event) -> None:
+    for event, fault_id in zip(plan.events, fault_ids):
+
+        def fire(event=event, fault_id=fault_id) -> None:
             if event.action == "up":
                 for link in event.links:
                     network.restore_link(link)
@@ -149,13 +205,21 @@ def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
             victims: set[int] = set()
             for link in event.links:
                 victims.update(master.qps_on_link(link))
-            event_records.append({"time": network.now, "victims": victims})
+                link_to_fault[link] = fault_id
+            event_records.append(
+                {"time": network.now, "victims": victims, "fault_id": fault_id}
+            )
             for link in event.links:
                 network.fail_link(link)
+            if victims:
+                # Victim flows stall the instant the link dies: that
+                # stall is the first fault-attributable signal.
+                tracer.stage(fault_id, "first_record", network.now)
             if event.notify:
                 for link in event.links:
                     report = master.notify_link_failure(link)
                     stranded_ever.update(report.stranded)
+                tracer.stage(fault_id, "detect", network.now, via="notification")
 
         network.schedule_at(event.time, fire)
         if event.action == "down":
@@ -171,6 +235,10 @@ def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
     def maintenance_tick() -> None:
         report = master.maintenance(network.now)
         reports.append(report)
+        for link in report.newly_dead:
+            fault_id = link_to_fault.get(link)
+            if fault_id is not None:
+                tracer.stage(fault_id, "detect", network.now, via="reprobe")
         for drain in report.drains:
             stranded_ever.update(drain.stranded)
         if network.now + plan.reprobe_interval <= scenario.duration:
@@ -195,7 +263,12 @@ def run_fabric_scenario(scenario: ChaosScenario) -> ScenarioScorecard:
             continue
         moved = [t for t, qp in migration_log if qp in victims and t >= record["time"]]
         if moved:
-            latencies.append(max(moved) - record["time"])
+            latency = max(moved) - record["time"]
+            latencies.append(latency)
+            m_reroute.observe(latency)
+            fault_id = record["fault_id"]
+            tracer.stage(fault_id, "steer", min(moved))
+            tracer.stage(fault_id, "recover", max(moved), migrated=len(moved))
 
     pre_fault = 0.0
     if down_events:

@@ -84,6 +84,10 @@ class SyntheticFeed:
         self._comm_id = ""
         self.steps_completed = 0
         self.relaunches = 0
+        #: Optional ``(now, node)`` callback fired when a record shaped
+        #: by an active fault is emitted (or withheld, for crashes) — the
+        #: observability tracer's ``first_record`` stage hook.
+        self.symptom_observer = None
 
     # ------------------------------------------------------------------
     # Ground-truth queries (the feed is the cluster, not the detector)
@@ -152,11 +156,16 @@ class SyntheticFeed:
         for rank, node in enumerate(self.nodes):
             if self._crashed(node, now):
                 crashed.append(rank)
+                if self.symptom_observer is not None:
+                    self.symptom_observer(now, node)
                 continue
+            lateness = self._lateness(node, now)
+            if lateness > 0 and self.symptom_observer is not None:
+                self.symptom_observer(now, node)
             launch_time = (
                 now
                 + float(self._rng.uniform(0.0, self.jitter))
-                + self._lateness(node, now)
+                + lateness
             )
             launches[rank] = launch_time
             self.sink.on_op_launch(

@@ -6,7 +6,9 @@ Usage::
     python -m repro run fig9
     python -m repro run table3 --seed 11
     python -m repro run all
-    python -m repro chaos --seed 7 --json scorecard.json
+    python -m repro chaos --seed 7 --json scorecard.json --obs obs.json
+    python -m repro obs                 # instrumented smoke run + dashboard
+    python -m repro obs --snapshot obs.json   # render a saved snapshot
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for the recorded paper-vs-measured comparison.
@@ -15,8 +17,13 @@ EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
+
+# Wall-clock timing uses perf_counter: time.time() is wall time subject
+# to NTP steps/slews, so a clock adjustment mid-experiment could report
+# a negative or wildly wrong duration.
+from time import perf_counter
 
 from repro.experiments import EXPERIMENTS, fig10
 
@@ -24,7 +31,7 @@ from repro.experiments import EXPERIMENTS, fig10
 def _run_one(name: str, seed: int | None) -> None:
     module, description = EXPERIMENTS[name]
     print(f"--- {name}: {description} ---")
-    started = time.time()
+    started = perf_counter()
     kwargs = {}
     if seed is not None:
         # Every runner takes exactly one seed-like parameter.
@@ -36,16 +43,21 @@ def _run_one(name: str, seed: int | None) -> None:
         kwargs["oversub_2to1"] = name.endswith("b")
     result = module.run(**kwargs)
     print(module.format_result(result))
-    print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    print(f"[{name} finished in {perf_counter() - started:.1f}s]\n")
 
 
-def _run_chaos(seed: int, json_path: str | None, kind: str | None = None) -> int:
+def _run_chaos(
+    seed: int,
+    json_path: str | None,
+    kind: str | None = None,
+    obs_path: str | None = None,
+) -> int:
     """Run the default chaos campaign and print/export the scorecard."""
     # Imported lazily: the chaos stack is not needed for 'list'/'run'.
     from repro.analysis.export import campaign_scorecard_to_dict, write_json
     from repro.chaos import ChaosCampaign, default_campaign
 
-    started = time.time()
+    started = perf_counter()
     scenarios = default_campaign(seed)
     if kind is not None:
         scenarios = [s for s in scenarios if s.kind.value == kind]
@@ -88,7 +100,59 @@ def _run_chaos(seed: int, json_path: str | None, kind: str | None = None) -> int
     if json_path:
         write_json(json_path, campaign_scorecard_to_dict(card))
         print(f"scorecard written to {json_path}")
-    print(f"[chaos finished in {time.time() - started:.1f}s]")
+    if obs_path:
+        snapshot = campaign.obs.snapshot(
+            meta={
+                "title": "chaos campaign observability",
+                "seed": seed,
+                "scenarios": len(campaign.scenarios),
+            }
+        )
+        write_json(obs_path, snapshot)
+        print(f"observability snapshot written to {obs_path}")
+    print(f"[chaos finished in {perf_counter() - started:.1f}s]")
+    return 0
+
+
+def _run_obs(
+    snapshot_path: str | None,
+    seed: int,
+    json_path: str | None,
+    prometheus: bool,
+) -> int:
+    """Render an observability dashboard.
+
+    With ``--snapshot`` an archived JSON snapshot is rendered as-is;
+    otherwise a short instrumented fabric chaos smoke runs first and its
+    snapshot is rendered (and optionally dumped with ``--json``).
+    """
+    from repro.obs import render_dashboard
+
+    if snapshot_path is not None:
+        with open(snapshot_path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(render_dashboard(snapshot))
+        return 0
+
+    from repro.chaos import ChaosCampaign
+    from repro.chaos.scenario import link_down_scenario, spine_maintenance_scenario
+
+    campaign = ChaosCampaign(
+        scenarios=[link_down_scenario(seed), spine_maintenance_scenario(seed + 1)]
+    )
+    campaign.run()
+    snapshot = campaign.obs.snapshot(
+        meta={"title": "instrumented fabric smoke", "seed": seed}
+    )
+    if prometheus:
+        # Rebuild nothing: the campaign's registry renders directly.
+        print(campaign.obs.registry.render_prometheus())
+    else:
+        print(render_dashboard(snapshot))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+        print(f"\nobservability snapshot written to {json_path}")
     return 0
 
 
@@ -105,6 +169,12 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the experiment's seed"
     )
+    run_parser.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="write the process-wide metrics snapshot as JSON after the run",
+    )
     chaos_parser = subparsers.add_parser(
         "chaos", help="run the adversarial chaos campaign and print the scorecard"
     )
@@ -120,22 +190,66 @@ def main(argv: list[str] | None = None) -> int:
         choices=("pipeline", "recovery", "fabric"),
         help="run only scenarios of one kind",
     )
+    chaos_parser.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="write the observability snapshot (fault spans + metrics) as JSON",
+    )
+    obs_parser = subparsers.add_parser(
+        "obs", help="render an observability dashboard (live smoke run or saved snapshot)"
+    )
+    obs_parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="render a previously saved snapshot instead of running a smoke",
+    )
+    obs_parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the smoke scenarios"
+    )
+    obs_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the smoke's snapshot"
+    )
+    obs_parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of the dashboard",
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "obs":
+        return _run_obs(args.snapshot, args.seed, args.json, args.prometheus)
+
     if args.command == "chaos":
-        return _run_chaos(args.seed, args.json, args.kind)
+        return _run_chaos(args.seed, args.json, args.kind, args.obs)
 
     if args.command == "list":
         for name, (_module, description) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
         return 0
 
+    def dump_default_registry() -> None:
+        if not args.obs:
+            return
+        from repro.obs import build_snapshot
+        from repro.obs.metrics import DEFAULT_REGISTRY
+
+        snapshot = build_snapshot(
+            DEFAULT_REGISTRY, meta={"title": "experiment run", "experiment": args.experiment}
+        )
+        with open(args.obs, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1)
+        print(f"metrics snapshot written to {args.obs}")
+
     if args.experiment == "all":
         for name in EXPERIMENTS:
             _run_one(name, args.seed)
+        dump_default_registry()
         return 0
     if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
     _run_one(args.experiment, args.seed)
+    dump_default_registry()
     return 0

@@ -83,6 +83,9 @@ class DetectorConfig:
 class HangDetector:
     """Detects communication and non-communication hangs.
 
+    ``name`` labels this detector's observability series
+    (``c4d_detector_eval_seconds{detector=...}`` etc.).
+
     A communicator whose launches have stopped producing completions for
     longer than ``hang_timeout``:
 
@@ -92,6 +95,8 @@ class HangDetector:
     * all ranks launched but none completed → **communication hang**
       (network-level), reported at communicator scope.
     """
+
+    name = "hang"
 
     def __init__(self, collector: CentralCollector, config: DetectorConfig) -> None:
         self.collector = collector
@@ -149,6 +154,8 @@ class CommSlowDetector:
     threshold cannot produce an on/off anomaly stream.
     """
 
+    name = "comm_slow"
+
     def __init__(self, collector: CentralCollector, config: DetectorConfig) -> None:
         self.collector = collector
         self.config = config
@@ -200,6 +207,8 @@ class CommSlowDetector:
 
 class NonCommSlowDetector:
     """Detects compute/data-loading stragglers via wait chains."""
+
+    name = "noncomm_slow"
 
     def __init__(self, collector: CentralCollector, config: DetectorConfig) -> None:
         self.collector = collector

@@ -8,6 +8,7 @@ has already acted on, forwards fresh ones to the steering service
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.c4d.detectors import (
@@ -19,6 +20,7 @@ from repro.core.c4d.detectors import (
 from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
 from repro.core.c4d.rca import RootCauseAnalyzer
 from repro.core.c4d.steering import JobSteeringService, SteeringAction
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.telemetry.collector import CentralCollector
 
 
@@ -71,6 +73,8 @@ class C4DMaster:
         rca: Optional[RootCauseAnalyzer] = None,
         cooldown: float = 300.0,
         c4p=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.collector = collector
         self.config = config or DetectorConfig()
@@ -78,6 +82,10 @@ class C4DMaster:
         self.rca = rca
         self.c4p = c4p
         self.cooldown = cooldown
+        #: Optional :class:`~repro.obs.trace.FaultTracer`; fresh
+        #: anomalies and steering actions are reported to it so fault
+        #: spans get their ``detect``/``steer``/``recover`` stages.
+        self.tracer = tracer
         self.detectors = [
             HangDetector(collector, self.config),
             CommSlowDetector(collector, self.config),
@@ -92,6 +100,35 @@ class C4DMaster:
         self._eval_index = 0
         #: Node -> time of the last steering action implicating it.
         self._node_last_action: dict[int, float] = {}
+        registry = get_registry(metrics)
+        self._m_evals = registry.counter(
+            "c4d_evaluations_total", "Master evaluation passes"
+        )
+        self._m_eval_seconds = registry.histogram(
+            "c4d_detector_eval_seconds",
+            "Wall-clock time of one detector's evaluate()",
+            labels=("detector",),
+        )
+        self._m_verdicts = registry.counter(
+            "c4d_detector_verdicts_total",
+            "Raw anomalies emitted by detectors (before gates)",
+            labels=("detector",),
+        )
+        suppressed = registry.counter(
+            "c4d_suppressions_total",
+            "Anomalies swallowed by a robustness gate",
+            labels=("gate",),
+        )
+        self._m_suppressed = {
+            gate: suppressed.labels(gate=gate)
+            for gate in ("debounce", "cooldown", "node_cooldown")
+        }
+        self._m_anomalies = registry.counter(
+            "c4d_anomalies_total", "Fresh anomalies acted on", labels=("type",)
+        )
+        self._m_actions = registry.counter(
+            "c4d_steering_dispatch_total", "Anomalies handed to the steering service"
+        )
 
     def _debounced(self, key: tuple) -> bool:
         """Count a sighting; True once it persisted long enough."""
@@ -119,21 +156,40 @@ class C4DMaster:
     def evaluate(self, now: float) -> list[Anomaly]:
         """Run all detectors; act on and return fresh anomalies."""
         self._eval_index += 1
+        self._m_evals.inc()
         fresh: list[Anomaly] = []
         for detector in self.detectors:
-            for anomaly in detector.evaluate(now):
+            # Stub/custom detectors need not declare a metric label name.
+            label = getattr(detector, "name", type(detector).__name__)
+            started = time.perf_counter()
+            verdicts = detector.evaluate(now)
+            self._m_eval_seconds.labels(detector=label).observe(
+                time.perf_counter() - started
+            )
+            if verdicts:
+                self._m_verdicts.labels(detector=label).inc(len(verdicts))
+            for anomaly in verdicts:
                 key = (anomaly.anomaly_type, anomaly.comm_id, anomaly.suspects)
                 if not self._debounced(key):
+                    self._m_suppressed["debounce"].inc()
                     continue
                 last = self._last_reported.get(key)
                 if last is not None and now - last < self.cooldown:
+                    self._m_suppressed["cooldown"].inc()
                     continue
                 self._last_reported[key] = now
                 fresh.append(anomaly)
         fresh = self._aggregate_by_node(fresh, now)
-        fresh = [a for a in fresh if not self._node_in_cooldown(a, now)]
+        gated = [a for a in fresh if not self._node_in_cooldown(a, now)]
+        self._m_suppressed["node_cooldown"].inc(len(fresh) - len(gated))
+        fresh = gated
         for anomaly in fresh:
             self.anomalies.append(anomaly)
+            self._m_anomalies.labels(type=anomaly.anomaly_type.value).inc()
+            if self.tracer is not None:
+                self.tracer.detection(
+                    now, anomaly.suspect_nodes, kind=anomaly.anomaly_type.value
+                )
             if self.rca is not None:
                 self.rca.submit(anomaly)
             if self.c4p is not None:
@@ -146,7 +202,12 @@ class C4DMaster:
             ):
                 for node in anomaly.suspect_nodes:
                     self._node_last_action[node] = now
-                self.actions.append(self.steering.handle(anomaly, now))
+                self._m_actions.inc()
+                action = self.steering.handle(anomaly, now)
+                self.actions.append(action)
+                if self.tracer is not None:
+                    targets = set(action.isolated_nodes) | set(anomaly.suspect_nodes)
+                    self.tracer.action(now, tuple(targets), ready_at=action.ready_at)
         return fresh
 
     def _forward_connection_suspects(self, anomaly: Anomaly, now: float) -> None:

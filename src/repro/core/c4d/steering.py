@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.c4d.events import Anomaly
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 logger = logging.getLogger(__name__)
 
@@ -146,6 +147,7 @@ class JobSteeringService:
         backup_nodes: list[int],
         config: Optional[SteeringConfig] = None,
         faults: Optional[SteeringFaultModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.topology = topology
         self.backup_pool: list[int] = list(backup_nodes)
@@ -155,6 +157,33 @@ class JobSteeringService:
         #: Every node this service ever isolated (for return_to_pool
         #: validation and idempotency).
         self._isolated: set[int] = set()
+        registry = get_registry(metrics)
+        self._m_actions = registry.counter(
+            "steering_actions_total", "Isolate-and-restart actions taken"
+        )
+        self._m_isolated = registry.counter(
+            "steering_nodes_isolated_total", "Nodes successfully isolated"
+        )
+        self._m_retries = registry.counter(
+            "steering_isolation_retries_total", "Isolation attempts beyond the first"
+        )
+        self._m_failed = registry.counter(
+            "steering_isolation_failures_total",
+            "Nodes whose isolation failed every attempt",
+        )
+        self._m_doa = registry.counter(
+            "steering_doa_replacements_total", "Backups drawn but dead on arrival"
+        )
+        self._m_pool_exhausted = registry.counter(
+            "steering_pool_exhaustions_total", "Actions that found the backup pool empty"
+        )
+        self._m_backoff = registry.histogram(
+            "steering_backoff_seconds", "Retry backoff paid per action"
+        )
+        self._m_pool = registry.gauge(
+            "steering_backup_pool_size", "Spare nodes currently in the backup pool"
+        )
+        self._m_pool.set(len(self.backup_pool))
 
     # ------------------------------------------------------------------
     # Isolation with retries
@@ -254,6 +283,14 @@ class JobSteeringService:
             failed_isolations=tuple(failed),
         )
         self.actions.append(action)
+        self._m_actions.inc()
+        self._m_isolated.inc(len(isolated))
+        self._m_retries.inc(max(0, total_attempts - len(to_isolate)))
+        self._m_failed.inc(len(failed))
+        self._m_doa.inc(len(doa))
+        self._m_pool_exhausted.inc(int(pool_exhausted))
+        self._m_backoff.observe(total_backoff)
+        self._m_pool.set(len(self.backup_pool))
         return action
 
     def return_to_pool(self, node_id: int) -> bool:
@@ -272,4 +309,5 @@ class JobSteeringService:
             return False
         self.topology.node(node_id).restore()
         self.backup_pool.append(node_id)
+        self._m_pool.set(len(self.backup_pool))
         return True

@@ -32,6 +32,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry, get_registry
+
 
 class LinkHealthState(enum.Enum):
     """Where a link stands in the recovery lifecycle."""
@@ -76,13 +78,35 @@ class LinkHealthConfig:
 class LinkHealthTracker:
     """Per-link failure history, hold-down timers and probation streaks."""
 
-    def __init__(self, config: LinkHealthConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: LinkHealthConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config or LinkHealthConfig()
         self._state: dict[tuple, LinkHealthState] = {}
         #: Failure timestamps inside the flap window, per link.
         self._failures: dict[tuple, list[float]] = {}
         self._quarantined_until: dict[tuple, float] = {}
         self._streak: dict[tuple, int] = {}
+        registry = get_registry(metrics)
+        transitions = registry.counter(
+            "c4p_link_health_transitions_total",
+            "Link health state machine entries per state",
+            labels=("state",),
+        )
+        self._m_transitions = {
+            state: transitions.labels(state=state.value) for state in LinkHealthState
+        }
+        self._m_holddown = registry.histogram(
+            "c4p_holddown_seconds", "Hold-down applied per quarantine"
+        )
+
+    def _enter(self, link_id: tuple, state: LinkHealthState) -> None:
+        """Record a state entry (transitions only, not self-loops)."""
+        if self._state.get(link_id, LinkHealthState.HEALTHY) is not state:
+            self._m_transitions[state].inc()
+        self._state[link_id] = state
 
     # ------------------------------------------------------------------
     # Queries
@@ -126,9 +150,10 @@ class LinkHealthTracker:
             self.config.hold_down_base * 2 ** (len(history) - 1),
             self.config.hold_down_max,
         )
-        self._state[link_id] = LinkHealthState.QUARANTINED
+        self._enter(link_id, LinkHealthState.QUARANTINED)
         self._quarantined_until[link_id] = now + hold
         self._streak[link_id] = 0
+        self._m_holddown.observe(hold)
         return hold
 
     def record_probe(self, link_id: tuple, now: float, healthy: bool) -> LinkHealthState:
@@ -146,14 +171,14 @@ class LinkHealthTracker:
             self.record_failure(link_id, now)
             return LinkHealthState.QUARANTINED
         if state is LinkHealthState.QUARANTINED:
-            self._state[link_id] = LinkHealthState.PROBATION
+            self._enter(link_id, LinkHealthState.PROBATION)
             self._streak[link_id] = 1
         elif state is LinkHealthState.PROBATION:
             self._streak[link_id] = self._streak.get(link_id, 0) + 1
         else:
             return LinkHealthState.HEALTHY
         if self._streak[link_id] >= self.config.probation_probes:
-            self._state[link_id] = LinkHealthState.HEALTHY
+            self._enter(link_id, LinkHealthState.HEALTHY)
             self._quarantined_until.pop(link_id, None)
             self._streak.pop(link_id, None)
             # Failure history is retained: a relapse inside the flap

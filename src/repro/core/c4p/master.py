@@ -40,6 +40,7 @@ from repro.core.c4p.health import LinkHealthConfig, LinkHealthState, LinkHealthT
 from repro.core.c4p.probing import PathProber
 from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
 from repro.netsim.routing import FiveTuple
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 _qp_counter = itertools.count(500000)
 
@@ -112,11 +113,13 @@ class C4PMaster:
         search_ports: bool | None = None,
         health_config: Optional[LinkHealthConfig] = None,
         link_strike_threshold: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.topology = topology
-        self.registry = PathRegistry(topology)
+        obs_registry = get_registry(metrics)
+        self.registry = PathRegistry(topology, metrics=obs_registry)
         self.prober = PathProber(topology)
-        self.health = LinkHealthTracker(health_config)
+        self.health = LinkHealthTracker(health_config, metrics=obs_registry)
         self.enforce_plane = enforce_plane
         if search_ports is None:
             spec = topology.spec
@@ -141,6 +144,36 @@ class C4PMaster:
             Callable[[PathRequest, QpAllocation], None]
         ] = None
         self._synthetic_port = itertools.count(49152)
+        self._m_allocations = obs_registry.counter(
+            "c4p_allocations_total", "QP routes allocated for tenant connections"
+        )
+        self._m_releases = obs_registry.counter(
+            "c4p_releases_total", "QP routes returned to the pool"
+        )
+        self._m_reallocations = obs_registry.counter(
+            "c4p_reallocations_total", "QPs moved onto a fresh route (drain/balancer)"
+        )
+        self._m_drains = obs_registry.counter(
+            "c4p_drains_total", "Dead links drained of their QPs"
+        )
+        self._m_migrated = obs_registry.counter(
+            "c4p_drained_qps_total", "QPs migrated off dead links", labels=("outcome",)
+        )
+        self._m_migrated_ok = self._m_migrated.labels(outcome="migrated")
+        self._m_migrated_stranded = self._m_migrated.labels(outcome="stranded")
+        self._m_quarantines = obs_registry.counter(
+            "c4p_link_quarantines_total", "Links excluded and put under hold-down"
+        )
+        self._m_maintenance = obs_registry.counter(
+            "c4p_maintenance_passes_total", "Periodic incremental re-probe passes"
+        )
+        self._m_probes = obs_registry.counter(
+            "c4p_maintenance_probes_total", "Links re-probed by maintenance passes"
+        )
+        self._m_strikes = obs_registry.counter(
+            "c4p_connection_strikes_total",
+            "C4D connection anomalies folded into link strike counts",
+        )
         self.refresh_catalog()
 
     # ------------------------------------------------------------------
@@ -163,6 +196,7 @@ class C4PMaster:
     def _quarantine(self, link_id: tuple, now: float) -> None:
         """Exclude a link and start (or escalate) its hold-down."""
         self.registry.mark_dead(link_id)
+        self._m_quarantines.inc()
         if self.health.state_of(link_id) is not LinkHealthState.QUARANTINED:
             self.health.record_failure(link_id, now)
 
@@ -179,6 +213,7 @@ class C4PMaster:
         if now is None:
             now = self.topology.network.now
         self.registry.mark_dead(link_id)
+        self._m_quarantines.inc()
         self.health.record_failure(link_id, now)
         if not drain:
             return DrainReport(link_id=link_id, migrated=(), stranded=())
@@ -208,6 +243,9 @@ class C4PMaster:
             migrated.append(record.alloc)
             if self.migration_listener is not None:
                 self.migration_listener(record.request, record.alloc)
+        self._m_drains.inc()
+        self._m_migrated_ok.inc(len(migrated))
+        self._m_migrated_stranded.inc(len(stranded))
         return DrainReport(
             link_id=link_id, migrated=tuple(migrated), stranded=tuple(stranded)
         )
@@ -245,6 +283,8 @@ class C4PMaster:
                 self.registry.mark_alive(link)
                 self._link_strikes.pop(link, None)
                 recovered.append(link)
+        self._m_maintenance.inc()
+        self._m_probes.inc(len(active) + len(dead))
         return MaintenanceReport(
             probed=len(active) + len(dead),
             newly_dead=tuple(newly_dead),
@@ -300,6 +340,7 @@ class C4PMaster:
             if (req.src_node, req.src_nic) != src or (req.dst_node, req.dst_nic) != dst:
                 continue
             links.update(self.registry.links_of(record.rail, record.alloc.choice))
+        self._m_strikes.inc()
         quarantined: list[tuple] = []
         for link in sorted(links):
             if link in self.registry.dead_links:
@@ -346,6 +387,7 @@ class C4PMaster:
             self._allocated[alloc.qp_num] = record
             self._index(record)
             allocations.append(alloc)
+        self._m_allocations.inc(len(allocations))
         return allocations
 
     def release(self, request: PathRequest, allocations: Sequence[QpAllocation]) -> None:
@@ -355,6 +397,7 @@ class C4PMaster:
             if record is not None:
                 self._deindex(record)
                 self.registry.release(record.rail, record.alloc.choice)
+                self._m_releases.inc()
 
     def reallocate(self, request: PathRequest, alloc: QpAllocation) -> QpAllocation:
         """Move one QP onto a fresh healthy route (drain / balancer action).
@@ -404,6 +447,7 @@ class C4PMaster:
         record.request = request
         self._allocated[alloc.qp_num] = record
         self._index(record)
+        self._m_reallocations.inc()
         return alloc
 
     # ------------------------------------------------------------------

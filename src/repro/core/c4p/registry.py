@@ -11,8 +11,10 @@ port's physical plane.
 from __future__ import annotations
 
 import itertools
+from typing import Optional
 
 from repro.cluster.topology import ClusterTopology, PathChoice
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 class PathPoolExhausted(RuntimeError):
@@ -28,13 +30,29 @@ class PathPoolExhausted(RuntimeError):
 class PathRegistry:
     """Allocation counts and least-loaded route selection."""
 
-    def __init__(self, topology: ClusterTopology) -> None:
+    def __init__(
+        self, topology: ClusterTopology, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.topology = topology
         #: Allocated QP count per fabric link id.
         self.link_load: dict[tuple, int] = {}
         #: Links the prober (or failure notifications) declared dead.
         self.dead_links: set[tuple] = set()
         self._rr = itertools.count()
+        registry = get_registry(metrics)
+        self._m_acquired = registry.counter(
+            "c4p_routes_acquired_total", "Routes handed out by the path registry"
+        )
+        self._m_exhausted = registry.counter(
+            "c4p_pool_exhaustions_total",
+            "Acquisitions that found no healthy route on the requested plane",
+        )
+        self._m_dead = registry.gauge(
+            "c4p_dead_links", "Links currently excluded from allocation"
+        )
+        self._m_link_load = registry.gauge(
+            "c4p_link_load", "Allocated QP count per fabric link", labels=("link",)
+        )
 
     # ------------------------------------------------------------------
     # Health bookkeeping
@@ -42,10 +60,12 @@ class PathRegistry:
     def mark_dead(self, link_id: tuple) -> None:
         """Exclude a link from future allocations."""
         self.dead_links.add(link_id)
+        self._m_dead.set(len(self.dead_links))
 
     def mark_alive(self, link_id: tuple) -> None:
         """Return a link to service."""
         self.dead_links.discard(link_id)
+        self._m_dead.set(len(self.dead_links))
 
     def is_usable(self, link_id: tuple) -> bool:
         """Healthy from the master's point of view (catalog, not ground truth)."""
@@ -62,11 +82,17 @@ class PathRegistry:
         preventing receive-side bonded-port imbalance (Fig. 9).
 
         Selection is greedy two-stage: the least-loaded (spine, uplink
-        port), then the least-loaded downlink port of that spine — which
-        keeps both tiers balanced at O(fanout) cost.  Equal-load ties
-        are broken by rotating the scan start with a round-robin
-        counter, so the first wave of allocations (all loads zero)
-        spreads across spines instead of piling onto index 0.
+        port) *among spines that still have a healthy downlink to the
+        destination side*, then the least-loaded such downlink — which
+        keeps both tiers balanced at O(fanout²) cost.  Restricting the
+        uplink stage to completable spines is what makes the greedy
+        correct under failures: a spine whose last downlink to
+        ``dst_side`` died would otherwise win the uplink stage (its
+        links are idle precisely because it is unusable) and strand the
+        acquisition even though other spines have healthy routes.
+        Equal-load ties are broken by rotating the scan start with a
+        round-robin counter, so the first wave of allocations (all loads
+        zero) spreads across spines instead of piling onto index 0.
         """
         if dst_side is None:
             dst_side = src_side
@@ -79,37 +105,47 @@ class PathRegistry:
             for spine in topo.enabled_spines(rail)
             for k in range(spec.uplink_ports_per_spine)
         ]
+        downs = list(range(spec.uplink_ports_per_spine))
+
+        def best_down_of(spine: int) -> tuple[int, int] | None:
+            """Least-loaded healthy downlink of one spine: (port, load)."""
+            best = None
+            best_load = None
+            for j in range(len(downs)):
+                k = downs[(offset + j) % len(downs)]
+                link = topo.spine_down(rail, spine, dst_side, k)
+                if not self.is_usable(link):
+                    continue
+                load = self.link_load.get(link, 0)
+                if best_load is None or load < best_load:
+                    best_load = load
+                    best = k
+            return None if best is None else (best, best_load)
+
         best_up = None
         best_up_load = None
+        best_down = None
         for i in range(len(ups)):
             spine, k = ups[(offset + i) % len(ups)]
             link = topo.leaf_up(rail, src_side, spine, k)
             if not self.is_usable(link):
                 continue
             load = self.link_load.get(link, 0)
-            if best_up_load is None or load < best_up_load:
-                best_up_load = load
-                best_up = (spine, k)
-        if best_up is None:
-            raise PathPoolExhausted(f"no healthy uplink on rail {rail} side {src_side}")
-        spine, up_port = best_up
-
-        downs = list(range(spec.uplink_ports_per_spine))
-        best_down = None
-        best_down_load = None
-        for i in range(len(downs)):
-            k = downs[(offset + i) % len(downs)]
-            link = topo.spine_down(rail, spine, dst_side, k)
-            if not self.is_usable(link):
+            if best_up_load is not None and load >= best_up_load:
                 continue
-            load = self.link_load.get(link, 0)
-            if best_down_load is None or load < best_down_load:
-                best_down_load = load
-                best_down = k
-        if best_down is None:
+            down = best_down_of(spine)
+            if down is None:
+                continue
+            best_up_load = load
+            best_up = (spine, k)
+            best_down = down[0]
+        if best_up is None:
+            self._m_exhausted.inc()
             raise PathPoolExhausted(
-                f"no healthy downlink from spine {spine} to rail {rail} side {dst_side}"
+                f"no healthy route on rail {rail} from side {src_side} "
+                f"to side {dst_side}"
             )
+        spine, up_port = best_up
 
         choice = PathChoice(
             src_side=src_side,
@@ -119,6 +155,7 @@ class PathRegistry:
             down_port=best_down,
         )
         self._count(rail, choice, +1)
+        self._m_acquired.inc()
         return choice
 
     def release(self, rail: int, choice: PathChoice) -> None:
@@ -150,3 +187,4 @@ class PathRegistry:
             self.link_load[link] = self.link_load.get(link, 0) + delta
             if self.link_load[link] < 0:
                 raise AssertionError(f"negative load on {link!r}")
+            self._m_link_load.labels(link=link).set(self.link_load[link])

@@ -52,9 +52,22 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
+        #: Timers ever scheduled / fired (cheap counters the network's
+        #: observability gauges read; cancellations count as neither).
+        self.timers_scheduled = 0
+        self.timers_fired = 0
 
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def depth(self) -> int:
+        """Heap size including cancelled-but-unpopped entries (O(1)).
+
+        Unlike ``len()`` this is safe to sample from a metrics gauge on
+        every scrape: it measures the real memory/latency footprint of
+        the heap without walking it.
+        """
+        return len(self._heap)
 
     def schedule(self, time: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to fire at absolute simulated ``time``."""
@@ -62,6 +75,7 @@ class EventQueue:
             raise ValueError(f"cannot schedule a timer at negative time {time}")
         entry = _Entry(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, entry)
+        self.timers_scheduled += 1
         return TimerHandle(entry)
 
     def next_time(self) -> float | None:
@@ -81,6 +95,7 @@ class EventQueue:
             entry = heapq.heappop(self._heap)
             if not entry.cancelled:
                 due.append(entry.callback)
+        self.timers_fired += len(due)
         return due
 
     def _drop_cancelled(self) -> None:

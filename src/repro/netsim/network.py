@@ -16,6 +16,7 @@ ECMP reconvergence, or C4P's dynamic load balancer) reacts.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Optional
 
 from repro.netsim.congestion import CongestionModel
@@ -23,6 +24,7 @@ from repro.netsim.engine import EventQueue, TimerHandle
 from repro.netsim.fairness import max_min_rates
 from repro.netsim.flows import Flow, FlowState
 from repro.netsim.links import Link
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Flows whose remaining share falls below this fraction of their size
 #: are complete (absorbs float residue from repeated rate changes).
@@ -40,7 +42,11 @@ class FlowNetwork:
         ideal lossless max-min fair network.
     """
 
-    def __init__(self, congestion: Optional[CongestionModel] = None) -> None:
+    def __init__(
+        self,
+        congestion: Optional[CongestionModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.now: float = 0.0
         self.links: dict[object, Link] = {}
         self.flows: dict[object, Flow] = {}
@@ -56,6 +62,22 @@ class FlowNetwork:
         self._queue = EventQueue()
         self._cc_timer: Optional[TimerHandle] = None
         self._flow_seq = 0
+        registry = get_registry(metrics)
+        registry.gauge(
+            "netsim_event_queue_depth", "Timer heap entries (incl. cancelled)"
+        ).set_function(self._queue.depth)
+        registry.gauge(
+            "netsim_timers_scheduled", "Timers ever scheduled on the event loop"
+        ).set_function(lambda: self._queue.timers_scheduled)
+        registry.gauge(
+            "netsim_timers_fired", "Timers the event loop has fired"
+        ).set_function(lambda: self._queue.timers_fired)
+        self._m_sim_seconds = registry.counter(
+            "netsim_simulated_seconds_total", "Simulated time advanced by run()"
+        )
+        self._m_wall_seconds = registry.counter(
+            "netsim_wall_seconds_total", "Wall-clock time spent inside run()"
+        )
 
     # ------------------------------------------------------------------
     # Topology management
@@ -158,6 +180,8 @@ class FlowNetwork:
         Runs until there are no more events, or until simulated time
         reaches ``until`` (when given, ``now`` ends exactly at ``until``).
         """
+        wall_start = time.perf_counter()
+        sim_start = self.now
         while True:
             rates = self.compute_rates()
             next_completion = self._next_completion_time(rates)
@@ -178,6 +202,8 @@ class FlowNetwork:
             self._advance(until - self.now, rates)
             self.now = until
             self._fire_completions()
+        self._m_sim_seconds.inc(self.now - sim_start)
+        self._m_wall_seconds.inc(time.perf_counter() - wall_start)
 
     def compute_rates(self) -> dict[object, float]:
         """Instantaneous max-min fair rates of the active flows."""

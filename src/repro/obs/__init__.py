@@ -1,0 +1,53 @@
+"""Cluster-wide observability plane: metrics, fault tracing, reports.
+
+The C4 reproduction monitors a training cluster; this package monitors
+the monitor.  Three layers:
+
+* :mod:`repro.obs.metrics` — a zero-dependency metrics registry
+  (counters, gauges, histograms with quantiles, labeled series) with
+  Prometheus-text and JSON exporters;
+* :mod:`repro.obs.trace` — fault-lifecycle spans
+  (inject → first_record → detect → steer → recover) with aggregate
+  MTTD/MTTR and false-positive accounting;
+* :mod:`repro.obs.report` — snapshot assembly and the ``repro obs``
+  text dashboard.
+
+Hot paths across telemetry, C4D, C4P and netsim accept an optional
+``metrics`` registry; when omitted they record into the process-wide
+:data:`~repro.obs.metrics.DEFAULT_REGISTRY`, and chaos campaigns attach
+an isolated :class:`~repro.obs.report.ObservabilityPlane` per run.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.report import ObservabilityPlane, build_snapshot, render_dashboard
+from repro.obs.trace import (
+    STAGES,
+    FaultSpan,
+    FaultTracer,
+    latency_histogram,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "ObservabilityPlane",
+    "build_snapshot",
+    "render_dashboard",
+    "STAGES",
+    "FaultSpan",
+    "FaultTracer",
+    "latency_histogram",
+]

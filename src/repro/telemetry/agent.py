@@ -18,6 +18,7 @@ from repro.collective.monitoring import (
     OpLaunchRecord,
     OpRecord,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.telemetry.collector import CentralCollector
 
 
@@ -103,6 +104,7 @@ class AgentPlane:
         network=None,
         flush_interval: float | None = None,
         channel=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if flush_interval is not None:
             if network is None:
@@ -117,6 +119,19 @@ class AgentPlane:
         self.flush_interval = flush_interval
         self.channel = channel
         self._flush_armed = False
+        registry = get_registry(metrics)
+        self._m_forwarded = registry.counter(
+            "telemetry_agent_records_forwarded_total",
+            "Records shipped by C4 agents toward the master",
+        )
+        self._m_flushes = registry.counter(
+            "telemetry_agent_flushes_total",
+            "Buffered-mode flush passes across all agents",
+        )
+        self._m_buffered = registry.gauge(
+            "telemetry_agent_buffered_records",
+            "Records currently waiting in agent buffers",
+        )
         #: Optional callable returning simulated time, used to timestamp
         #: communicator registration.
         if clock is None and network is not None:
@@ -133,7 +148,11 @@ class AgentPlane:
 
     def flush_all(self) -> int:
         """Flush every agent's buffer; returns total records shipped."""
-        return sum(agent.flush() for agent in self.agents.values())
+        flushed = sum(agent.flush() for agent in self.agents.values())
+        self._m_flushes.inc()
+        self._m_forwarded.inc(flushed)
+        self._m_buffered.set(0)
+        return flushed
 
     def _deliver(self, node_id: int, kind: str, record) -> None:
         agent = self.agent(node_id)
@@ -144,8 +163,10 @@ class AgentPlane:
                 agent.forward_launch(record)
             else:
                 agent.forward_message(record)
+            self._m_forwarded.inc()
             return
         agent.enqueue(kind, record)
+        self._m_buffered.inc()
         self._arm_flush()
 
     def _arm_flush(self) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque
+from typing import Deque, Optional
 
 from repro.collective.monitoring import (
     CommunicatorRecord,
@@ -18,6 +18,7 @@ from repro.collective.monitoring import (
     OpLaunchRecord,
     OpRecord,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -67,9 +68,16 @@ class CentralCollector:
         Operation-layer records retained per communicator.
     message_window:
         Transport-layer records retained per communicator.
+    metrics:
+        Observability registry; ``None`` uses the process default.
     """
 
-    def __init__(self, op_window: int = 4096, message_window: int = 16384) -> None:
+    def __init__(
+        self,
+        op_window: int = 4096,
+        message_window: int = 16384,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.progress: dict[str, CommProgress] = {}
         self._ops: dict[str, Deque[OpRecord]] = {}
         self._launches: dict[str, Deque[OpLaunchRecord]] = {}
@@ -80,6 +88,39 @@ class CentralCollector:
         #: (e.g. still in flight on a lossy channel) are discarded
         #: silently instead of raising.
         self._dropped: set[str] = set()
+        registry = get_registry(metrics)
+        ingested = registry.counter(
+            "telemetry_records_ingested_total",
+            "Monitoring records accepted by the central collector",
+            labels=("kind",),
+        )
+        self._m_ingested = {
+            kind: ingested.labels(kind=kind)
+            for kind in ("communicator", "op", "launch", "message")
+        }
+        evicted = registry.counter(
+            "telemetry_window_evictions_total",
+            "Records pushed out of a full bounded window",
+            labels=("kind",),
+        )
+        self._m_evicted = {
+            kind: evicted.labels(kind=kind) for kind in ("op", "launch", "message")
+        }
+        self._m_stragglers = registry.counter(
+            "telemetry_straggler_records_total",
+            "Late records for dropped communicators, silently discarded",
+        )
+        self._m_comms = registry.gauge(
+            "telemetry_registered_communicators",
+            "Communicators currently registered with the collector",
+        )
+
+    def _append_bounded(self, kind: str, window: Deque, record) -> None:
+        """Append to a bounded window, counting the eviction it causes."""
+        if window.maxlen is not None and len(window) == window.maxlen:
+            self._m_evicted[kind].inc()
+        window.append(record)
+        self._m_ingested[kind].inc()
 
     # ------------------------------------------------------------------
     # Ingestion (called by agents)
@@ -96,6 +137,8 @@ class CentralCollector:
         self._ops[record.comm_id] = deque(maxlen=self._op_window)
         self._launches[record.comm_id] = deque(maxlen=self._op_window)
         self._messages[record.comm_id] = deque(maxlen=self._message_window)
+        self._m_ingested["communicator"].inc()
+        self._m_comms.set(len(self.progress))
 
     def drop_communicator(self, comm_id: str) -> None:
         """Deregister a communicator (its job incarnation is gone).
@@ -109,6 +152,7 @@ class CentralCollector:
         self._launches.pop(comm_id, None)
         self._messages.pop(comm_id, None)
         self._dropped.add(comm_id)
+        self._m_comms.set(len(self.progress))
 
     def ingest_launch(self, record: OpLaunchRecord) -> None:
         """Record a per-rank operation startup."""
@@ -119,7 +163,7 @@ class CentralCollector:
             progress.last_launch_seq.get(record.rank, -1), record.seq
         )
         progress.last_launch_time = max(progress.last_launch_time, record.launch_time)
-        self._launches[record.comm_id].append(record)
+        self._append_bounded("launch", self._launches[record.comm_id], record)
 
     def ingest_op(self, record: OpRecord) -> None:
         """Record a completed per-rank operation."""
@@ -130,13 +174,13 @@ class CentralCollector:
             progress.last_seq.get(record.rank, -1), record.seq
         )
         progress.last_completion_time = max(progress.last_completion_time, record.end_time)
-        self._ops[record.comm_id].append(record)
+        self._append_bounded("op", self._ops[record.comm_id], record)
 
     def ingest_message(self, record: MessageRecord) -> None:
         """Record a transport-layer message."""
         if self._require(record.comm_id) is None:
             return
-        self._messages[record.comm_id].append(record)
+        self._append_bounded("message", self._messages[record.comm_id], record)
 
     # ------------------------------------------------------------------
     # Queries (used by detectors)
@@ -177,6 +221,7 @@ class CentralCollector:
         progress = self.progress.get(comm_id)
         if progress is None:
             if comm_id in self._dropped:
+                self._m_stragglers.inc()
                 return None
             raise KeyError(
                 f"records for unregistered communicator {comm_id!r}; "

@@ -17,8 +17,28 @@ def test_summarize_basic():
 
 
 def test_summarize_empty_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="empty series"):
         summarize([])
+
+
+def test_summarize_accepts_numpy_arrays():
+    import numpy as np
+
+    summary = summarize(np.array([2.0, 4.0]))
+    assert summary.count == 2
+    assert summary.mean == pytest.approx(3.0)
+    # An empty array must raise cleanly, not trip numpy's ambiguous
+    # truth-value error.
+    with pytest.raises(ValueError, match="empty series"):
+        summarize(np.array([]))
+
+
+def test_summarize_accepts_generators():
+    summary = summarize(v for v in (1.0, 3.0))
+    assert summary.count == 2
+    # An exhausted/empty generator is an empty series, not a crash.
+    with pytest.raises(ValueError, match="empty series"):
+        summarize(v for v in ())
 
 
 def test_improvement_percent():
@@ -27,8 +47,10 @@ def test_improvement_percent():
 
 
 def test_improvement_validates():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="zero baseline"):
         improvement_percent(0.0, 1.0)
+    with pytest.raises(ValueError, match="positive"):
+        improvement_percent(-5.0, 1.0)
 
 
 def test_format_table_alignment():

@@ -1,0 +1,1 @@
+"""Tests for the observability plane (metrics, tracing, reports)."""

@@ -10,6 +10,7 @@ from repro.collective.monitoring import (
     OpLaunchRecord,
     OpRecord,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.collector import CentralCollector
 
 
@@ -160,3 +161,100 @@ def test_reregistering_dropped_communicator_revives_it():
     collector.ingest_communicator(comm_record())
     collector.ingest_op(op(seq=0))
     assert collector.progress["c"].max_seq == 0
+
+
+# ----------------------------------------------------------------------
+# Bounded-window eviction accounting
+# ----------------------------------------------------------------------
+def counter_value(registry, name, **labels):
+    family = registry.counter(name, labels=tuple(labels))
+    return (family.labels(**labels) if labels else family).value
+
+
+def test_op_window_evictions_counted_only_on_overflow():
+    registry = MetricsRegistry()
+    collector = CentralCollector(op_window=3, metrics=registry)
+    collector.ingest_communicator(comm_record())
+    for seq in range(5):
+        collector.ingest_op(op(seq=seq))
+    # 5 ingested, window holds 3: exactly 2 evictions, and the window
+    # keeps the newest records.
+    assert len(collector.ops("c")) == 3
+    assert [r.seq for r in collector.ops("c")] == [2, 3, 4]
+    assert counter_value(registry, "telemetry_records_ingested_total", kind="op") == 5
+    assert counter_value(registry, "telemetry_window_evictions_total", kind="op") == 2
+
+
+def test_eviction_counters_are_per_kind():
+    registry = MetricsRegistry()
+    collector = CentralCollector(op_window=2, message_window=1, metrics=registry)
+    collector.ingest_communicator(comm_record())
+    collector.ingest_launch(launch(seq=0))
+    collector.ingest_launch(launch(seq=1))
+    collector.ingest_launch(launch(seq=2))  # launches share op_window
+    collector.ingest_message(message(seq=0))
+    collector.ingest_message(message(seq=1))
+    assert counter_value(registry, "telemetry_window_evictions_total", kind="launch") == 1
+    assert counter_value(registry, "telemetry_window_evictions_total", kind="message") == 1
+    assert counter_value(registry, "telemetry_window_evictions_total", kind="op") == 0
+
+
+def test_straggler_records_counted():
+    registry = MetricsRegistry()
+    collector = CentralCollector(metrics=registry)
+    collector.ingest_communicator(comm_record())
+    collector.drop_communicator("c")
+    collector.ingest_op(op(seq=1))
+    collector.ingest_message(message(seq=1))
+    assert counter_value(registry, "telemetry_straggler_records_total") == 2
+    # Stragglers are discarded, not ingested.
+    assert counter_value(registry, "telemetry_records_ingested_total", kind="op") == 0
+
+
+def test_registered_communicators_gauge_tracks_lifecycle():
+    registry = MetricsRegistry()
+    collector = CentralCollector(metrics=registry)
+    gauge = registry.gauge("telemetry_registered_communicators")
+    collector.ingest_communicator(comm_record("a"))
+    collector.ingest_communicator(comm_record("b"))
+    assert gauge.value == 2
+    collector.drop_communicator("a")
+    assert gauge.value == 1
+
+
+# ----------------------------------------------------------------------
+# Out-of-order records must not regress progress bookkeeping
+# ----------------------------------------------------------------------
+def test_out_of_order_ops_do_not_regress_progress():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record(size=2))
+    collector.ingest_op(op(seq=5, rank=0, end=50.0))
+    # A delayed record for an older op arrives late (lossy channel
+    # reordering): the per-rank high-water marks must not move backward.
+    collector.ingest_op(op(seq=2, rank=0, end=20.0))
+    progress = collector.progress["c"]
+    assert progress.last_seq[0] == 5
+    assert progress.last_completion_time == 50.0
+    assert progress.max_seq == 5
+    assert progress.min_seq == -1  # rank 1 still silent
+
+
+def test_out_of_order_launches_do_not_regress_progress():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record(size=2))
+    collector.ingest_launch(launch(seq=4, rank=1, t=40.0))
+    collector.ingest_launch(launch(seq=1, rank=1, t=10.0))
+    progress = collector.progress["c"]
+    assert progress.last_launch_seq[1] == 4
+    assert progress.last_launch_time == 40.0
+    assert progress.max_launch_seq == 4
+
+
+def test_out_of_order_records_still_stored_for_queries():
+    collector = CentralCollector()
+    collector.ingest_communicator(comm_record())
+    collector.ingest_op(op(seq=5, rank=0, end=50.0))
+    collector.ingest_op(op(seq=2, rank=0, end=20.0))
+    # Detectors query by seq regardless of arrival order.
+    assert len(collector.ops_for_seq("c", 2)) == 1
+    assert collector.latest_seqs("c", 10) == [2, 5]

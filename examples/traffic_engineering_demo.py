@@ -17,11 +17,7 @@ Run:  python examples/traffic_engineering_demo.py
 """
 
 from repro.core.c4p import C4PMaster, DynamicLoadBalancer, LoadBalancerConfig, PathProber
-from repro.workloads.generator import (
-    build_cluster,
-    concurrent_allreduce_jobs,
-    fig12_spec,
-)
+from repro.workloads.generator import build_cluster, concurrent_allreduce_jobs, fig12_spec
 
 
 def demo_probing() -> None:

@@ -203,7 +203,13 @@ class ChaosCampaign:
                 if token == state["token"] and state["nodes"]:
                     feed.relaunch(state["nodes"])
 
-            network.schedule(max(0.0, action.ready_at - network.now), relaunch)
+            # A hair past ready_at: steering latencies and the master's
+            # evaluation grid are both round numbers, so an exact-ready_at
+            # relaunch ties with an evaluation tick — whether the relaunch
+            # registration (and the feed grid it anchors) lands before or
+            # after that evaluation would then hinge on timer tie-breaking
+            # alone (a racecheck divergence).
+            network.schedule(max(0.0, action.ready_at - network.now) + 1e-3, relaunch)
 
         def tick() -> None:
             master.evaluate(network.now)
@@ -214,7 +220,16 @@ class ChaosCampaign:
                 network.schedule(scenario.evaluation_interval, tick)
 
         feed.start()
-        network.schedule(scenario.evaluation_interval, tick)
+        # The evaluation grid is phase-shifted off the feed's step grid
+        # (both are round numbers, so exact-interval ticks would share
+        # instants with step emission): whether an evaluation — and the
+        # steering halt it can trigger — lands before or after a
+        # same-instant step must not depend on timer tie-breaking.  The
+        # master evaluates a fraction of a step after each interval, as a
+        # control plane asynchronous to the data path would.
+        network.schedule(
+            scenario.evaluation_interval + 0.1 * scenario.step_seconds, tick
+        )
         network.run(until=scenario.duration)
         return score_pipeline_scenario(
             scenario,

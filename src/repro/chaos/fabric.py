@@ -27,11 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.chaos.scenario import ChaosScenario, ScenarioKind
-from repro.chaos.scorecard import (
-    FabricMetrics,
-    ScenarioScorecard,
-    score_fabric_scenario,
-)
+from repro.chaos.scorecard import FabricMetrics, ScenarioScorecard, score_fabric_scenario
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology
 from repro.collective.selectors import PathRequest
@@ -145,7 +141,13 @@ def run_fabric_scenario(
         if network.now + plan.sample_interval <= scenario.duration:
             network.schedule(plan.sample_interval, sample)
 
-    network.schedule(plan.sample_interval, sample)
+    # Phase-shifted off the fault schedule's grid: fault times and
+    # sampling cadences are both round numbers, and a sampler sharing an
+    # instant with a `down` event would read pre- or post-fault
+    # throughput depending on timer tie-breaking alone (a racecheck
+    # divergence).  Observers must never share an instant with the
+    # schedule they observe.
+    network.schedule(plan.sample_interval * 0.5, sample)
 
     # ------------------------------------------------------------------
     # The fault schedule (ground truth).
@@ -195,7 +197,7 @@ def run_fabric_scenario(
             windows=((event.time, window_end),),
         )
 
-    for event, fault_id in zip(plan.events, fault_ids):
+    for event, fault_id in zip(plan.events, fault_ids, strict=True):
 
         def fire(event=event, fault_id=fault_id) -> None:
             if event.action == "up":
@@ -223,8 +225,14 @@ def run_fabric_scenario(
 
         network.schedule_at(event.time, fire)
         if event.action == "down":
+            # The deadline audit runs a hair past the deadline instant:
+            # flapping schedules put other links' `fire` timers on the
+            # same round timestamps, and whether the audit sees their
+            # stalls must not hinge on tie-break order (deadline
+            # inclusive either way — migrations due at the deadline have
+            # already happened).
             network.schedule_at(
-                event.time + plan.migration_deadline,
+                event.time + plan.migration_deadline + 1e-3,
                 lambda: residual_checks.append(ground_truth_residual()),
             )
 

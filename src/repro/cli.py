@@ -9,6 +9,9 @@ Usage::
     python -m repro chaos --seed 7 --json scorecard.json --obs obs.json
     python -m repro obs                 # instrumented smoke run + dashboard
     python -m repro obs --snapshot obs.json   # render a saved snapshot
+    python -m repro lint                # determinism/event-safety static analysis
+    python -m repro lint --json         # machine-readable diagnostics
+    python -m repro lint --racecheck link-down --replays 5   # dynamic race detector
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for the recorded paper-vs-measured comparison.
@@ -19,7 +22,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-
 # Wall-clock timing uses perf_counter: time.time() is wall time subject
 # to NTP steps/slews, so a clock adjustment mid-experiment could report
 # a negative or wildly wrong duration.
@@ -156,6 +158,49 @@ def _run_obs(
     return 0
 
 
+def _run_lint(
+    paths: list[str],
+    json_output: bool,
+    racecheck_name: str | None,
+    replays: int,
+    seed: int,
+    report_path: str | None,
+) -> int:
+    """Static determinism lint and/or the schedule-perturbation racecheck.
+
+    Exit status is non-zero when any unsuppressed diagnostic remains or
+    any perturbed replay diverges — the CI contract.
+    """
+    from pathlib import Path
+
+    from repro.lint import lint_paths, racecheck_scenario, scenario_names
+
+    status = 0
+    if racecheck_name is None or paths:
+        targets = paths or [str(Path(__file__).resolve().parent)]
+        report = lint_paths(targets)
+        print(report.render_json() if json_output else report.render())
+        if not report.ok:
+            status = 1
+    if racecheck_name is not None:
+        if racecheck_name not in scenario_names():
+            print(
+                f"unknown racecheck scenario {racecheck_name!r}; "
+                f"choose from: {', '.join(scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        race = racecheck_scenario(racecheck_name, replays=replays, seed=seed)
+        print(json.dumps(race.to_dict(), indent=2) if json_output else race.render())
+        if report_path:
+            with open(report_path, "w", encoding="utf-8") as handle:
+                json.dump(race.to_dict(), handle, indent=2)
+            print(f"racecheck report written to {report_path}")
+        if race.diverged:
+            status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -216,7 +261,41 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the Prometheus text exposition instead of the dashboard",
     )
+    lint_parser = subparsers.add_parser(
+        "lint", help="determinism & event-safety checks (static rules + racecheck)"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON diagnostics"
+    )
+    lint_parser.add_argument(
+        "--racecheck",
+        default=None,
+        metavar="SCENARIO",
+        help="also run the schedule-perturbation race detector on a named scenario",
+    )
+    lint_parser.add_argument(
+        "--replays", type=int, default=5, help="perturbed replays per racecheck"
+    )
+    lint_parser.add_argument(
+        "--seed", type=int, default=0, help="scenario + perturbation base seed"
+    )
+    lint_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the racecheck divergence report as JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return _run_lint(
+            args.paths, args.json, args.racecheck, args.replays, args.seed, args.report
+        )
 
     if args.command == "obs":
         return _run_obs(args.snapshot, args.seed, args.json, args.prometheus)

@@ -7,17 +7,17 @@ and III and a stochastic fault injector used by the month-scale
 experiments.
 """
 
-from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES, pod_spec
-from repro.cluster.hardware import Gpu, Nic, NicPort, Node, PortSide, ComponentHealth
-from repro.cluster.topology import ClusterTopology
 from repro.cluster.faults import (
-    FaultType,
+    PAPER_CRASH_MIX,
     FaultClass,
     FaultEvent,
-    FaultRates,
     FaultInjector,
-    PAPER_CRASH_MIX,
+    FaultRates,
+    FaultType,
 )
+from repro.cluster.hardware import ComponentHealth, Gpu, Nic, NicPort, Node, PortSide
+from repro.cluster.specs import TESTBED_16_NODES, ClusterSpec, pod_spec
+from repro.cluster.topology import ClusterTopology
 
 __all__ = [
     "ClusterSpec",

@@ -18,19 +18,19 @@ package provides the same capabilities on the simulated fabric:
   running collective operations on the event loop.
 """
 
+from repro.collective.algorithms import Algorithm, OpType, traffic_factor
 from repro.collective.communicator import Communicator, RankLocation
-from repro.collective.algorithms import OpType, Algorithm, traffic_factor
+from repro.collective.context import CollectiveContext, OpHandle
 from repro.collective.monitoring import (
     CommunicatorRecord,
-    OpLaunchRecord,
-    OpRecord,
     MessageRecord,
     MonitoringSink,
+    OpLaunchRecord,
+    OpRecord,
     RecordingSink,
 )
-from repro.collective.selectors import PathSelector, EcmpPathSelector, QpAllocation
+from repro.collective.selectors import EcmpPathSelector, PathSelector, QpAllocation
 from repro.collective.transport import Connection
-from repro.collective.context import CollectiveContext, OpHandle
 
 __all__ = [
     "Communicator",

@@ -20,11 +20,19 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.cluster.topology import ClusterTopology
 from repro.collective.algorithms import (
-    Algorithm,
     DEFAULT_ALGORITHM,
-    OpType,
     SUPPORTED_ALGORITHMS,
+    Algorithm,
+    OpType,
     traffic_factor,
+)
+from repro.collective.communicator import Communicator, RankLocation
+from repro.collective.monitoring import (
+    CommunicatorRecord,
+    MessageRecord,
+    MonitoringSink,
+    OpLaunchRecord,
+    OpRecord,
 )
 from repro.collective.schedules import (
     Phase,
@@ -35,20 +43,7 @@ from repro.collective.schedules import (
     ring_phases,
     tree_phases,
 )
-from repro.collective.communicator import Communicator, RankLocation
-from repro.collective.monitoring import (
-    CommunicatorRecord,
-    MessageRecord,
-    MonitoringSink,
-    OpLaunchRecord,
-    OpRecord,
-)
-from repro.collective.selectors import (
-    EcmpPathSelector,
-    PathRequest,
-    PathSelector,
-    QpAllocation,
-)
+from repro.collective.selectors import EcmpPathSelector, PathRequest, PathSelector, QpAllocation
 from repro.collective.transport import Connection
 from repro.netsim.flows import Flow
 from repro.netsim.links import Link

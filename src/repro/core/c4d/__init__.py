@@ -9,28 +9,28 @@ last checkpoint) while queueing the event for offline root-cause
 analysis.
 """
 
-from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
+from repro.core.c4d.classifier import CauseBucket, classify_fault
 from repro.core.c4d.delay_matrix import (
     DelayMatrix,
     MatrixFinding,
     analyze_delay_matrix,
     build_delay_matrix,
 )
+from repro.core.c4d.detectors import (
+    CommSlowDetector,
+    DetectorConfig,
+    HangDetector,
+    NonCommSlowDetector,
+)
+from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
+from repro.core.c4d.master import C4DMaster
+from repro.core.c4d.rca import RcaReport, RootCauseAnalyzer
+from repro.core.c4d.steering import JobSteeringService, SteeringAction, SteeringConfig
 from repro.core.c4d.wait_chain import (
     WaitChainFinding,
     analyze_wait_chain,
     analyze_wait_chain_smoothed,
 )
-from repro.core.c4d.detectors import (
-    DetectorConfig,
-    HangDetector,
-    CommSlowDetector,
-    NonCommSlowDetector,
-)
-from repro.core.c4d.master import C4DMaster
-from repro.core.c4d.steering import JobSteeringService, SteeringAction, SteeringConfig
-from repro.core.c4d.rca import RootCauseAnalyzer, RcaReport
-from repro.core.c4d.classifier import classify_fault, CauseBucket
 
 __all__ = [
     "Anomaly",

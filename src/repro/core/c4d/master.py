@@ -161,10 +161,13 @@ class C4DMaster:
         for detector in self.detectors:
             # Stub/custom detectors need not declare a metric label name.
             label = getattr(detector, "name", type(detector).__name__)
-            started = time.perf_counter()
+            # Wall clock is observability-only here: it times the
+            # detector's own compute for the eval-latency histogram and
+            # never feeds simulated time or verdict logic.
+            started = time.perf_counter()  # repro: noqa[SIM001]
             verdicts = detector.evaluate(now)
             self._m_eval_seconds.labels(detector=label).observe(
-                time.perf_counter() - started
+                time.perf_counter() - started  # repro: noqa[SIM001]
             )
             if verdicts:
                 self._m_verdicts.labels(detector=label).inc(len(verdicts))

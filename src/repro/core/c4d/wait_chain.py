@@ -125,7 +125,7 @@ def analyze_wait_chain_smoothed(
     lateness = means - median_mean
     cutoff = max(min_lateness, relative_threshold * max(mad, 1e-9))
     straggler_ranks = [
-        rank for rank, late in zip(ranks, lateness) if late > cutoff
+        rank for rank, late in zip(ranks, lateness, strict=True) if late > cutoff
     ]
     max_lateness = float(lateness.max()) if len(lateness) else 0.0
     if not straggler_ranks:

@@ -12,17 +12,12 @@ Cluster-scale traffic engineering for collective communication:
    continuously measures.
 """
 
-from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
-from repro.core.c4p.probing import PathProber, ProbeResult
 from repro.core.c4p.health import LinkHealthConfig, LinkHealthState, LinkHealthTracker
-from repro.core.c4p.master import (
-    AllocationRecord,
-    C4PMaster,
-    DrainReport,
-    MaintenanceReport,
-)
-from repro.core.c4p.selector import C4PSelector
 from repro.core.c4p.load_balance import DynamicLoadBalancer, LoadBalancerConfig
+from repro.core.c4p.master import AllocationRecord, C4PMaster, DrainReport, MaintenanceReport
+from repro.core.c4p.probing import PathProber, ProbeResult
+from repro.core.c4p.registry import PathPoolExhausted, PathRegistry
+from repro.core.c4p.selector import C4PSelector
 
 __all__ = [
     "PathRegistry",

@@ -102,7 +102,7 @@ class DynamicLoadBalancer:
             return False
         cfg = self.config
         mean_rate = sum(rates) / len(rates)
-        for alloc, rate in zip(connection.allocations, rates):
+        for alloc, rate in zip(connection.allocations, rates, strict=True):
             weight = (rate / mean_rate) ** cfg.gain
             weight = min(max(weight, cfg.min_weight), cfg.max_weight)
             connection.set_qp_weight(alloc, weight)

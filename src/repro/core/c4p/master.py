@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.cluster.topology import ClusterTopology, PathChoice
-from repro.collective.selectors import PathRequest, QpAllocation, ROCE_DST_PORT
+from repro.collective.selectors import ROCE_DST_PORT, PathRequest, QpAllocation
 from repro.core.c4p.health import LinkHealthConfig, LinkHealthState, LinkHealthTracker
 from repro.core.c4p.probing import PathProber
 from repro.core.c4p.registry import PathPoolExhausted, PathRegistry

@@ -9,14 +9,14 @@ users re-run any experiment with different parameters.
 
 from repro.experiments import (
     ablations,
-    fig3,
-    fig7,
-    fig9,
     fig10,
     fig11,
     fig12,
     fig13,
     fig14,
+    fig3,
+    fig7,
+    fig9,
     table1,
     table3,
 )

@@ -25,11 +25,7 @@ from repro.collective.placement import contiguous_ranks
 from repro.core.c4p.master import C4PMaster
 from repro.core.c4p.selector import C4PSelector
 from repro.netsim.units import GIB
-from repro.workloads.generator import (
-    build_cluster,
-    concurrent_allreduce_jobs,
-    fig10b_spec,
-)
+from repro.workloads.generator import build_cluster, concurrent_allreduce_jobs, fig10b_spec
 
 
 @dataclass(frozen=True)

@@ -6,11 +6,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import Summary, summarize
-from repro.workloads.generator import (
-    build_cluster,
-    concurrent_allreduce_jobs,
-    fig10b_spec,
-)
+from repro.workloads.generator import build_cluster, concurrent_allreduce_jobs, fig10b_spec
 
 
 @dataclass(frozen=True)
@@ -74,7 +70,7 @@ def format_result(result: Fig10Result) -> str:
     rows = [
         (f"job{j}", f"{without:.1f}", f"{with_c4p:.1f}")
         for j, (without, with_c4p) in enumerate(
-            zip(result.without_c4p, result.with_c4p)
+            zip(result.without_c4p, result.with_c4p, strict=True)
         )
     ]
     s_without, s_with = result.summary_without, result.summary_with

@@ -6,11 +6,7 @@ import statistics
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.workloads.generator import (
-    build_cluster,
-    concurrent_allreduce_jobs,
-    fig10b_spec,
-)
+from repro.workloads.generator import build_cluster, concurrent_allreduce_jobs, fig10b_spec
 
 
 @dataclass(frozen=True)

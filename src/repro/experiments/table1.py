@@ -6,7 +6,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.cluster.faults import FaultEvent, FaultInjector, FaultType, USER_VIEW
+from repro.cluster.faults import USER_VIEW, FaultEvent, FaultInjector, FaultType
 
 MONTH_SECONDS = 30 * 24 * 3600.0
 

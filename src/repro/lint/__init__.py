@@ -1,0 +1,42 @@
+"""Determinism & event-safety static analysis for the simulator.
+
+``repro.lint`` keeps the netsim's reproducibility promise honest: an
+AST rule engine (:mod:`repro.lint.engine` + :mod:`repro.lint.rules`)
+flags constructs that break determinism statically, and the
+schedule-perturbation race detector (:mod:`repro.lint.racecheck`)
+catches order-dependence dynamically.  Run both via ``repro lint``.
+"""
+
+from repro.lint.engine import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.lint.racecheck import (
+    PerturbedEventQueue,
+    RacecheckReport,
+    perturbed_scheduling,
+    racecheck,
+    racecheck_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "PerturbedEventQueue",
+    "RacecheckReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "perturbed_scheduling",
+    "racecheck",
+    "racecheck_scenario",
+    "register",
+    "scenario_names",
+]

@@ -1,0 +1,320 @@
+"""The ``repro.lint`` rule engine: AST-based determinism & event-safety checks.
+
+The C4D diagnostic method rests on the simulator's reproducibility
+promise — timers fire in ``(time, seq)`` order, every stochastic choice
+derives from a scenario seed, and the same fault therefore produces the
+same event ordering every run.  Nothing about that promise is visible to
+a conventional linter, so this module provides a small, zero-dependency
+static-analysis engine with a registry of *simulation-safety* rules
+(``repro.lint.rules``) that runs over the source tree and reports every
+construct that could silently break determinism: wall-clock reads,
+unseeded RNGs, set-iteration in event paths, re-entrant event-loop
+calls, hot-loop metric registration.
+
+Design:
+
+* one :func:`parse <lint_source>` per file, one tree walk per file — all
+  registered rules are dispatched from a single :class:`ast.NodeVisitor`
+  pass that maintains the ancestor stack rules need for nesting checks;
+* rules are small classes registered with :func:`register`; each
+  declares the node types it is interested in and whether it applies
+  only to *sim-path* packages (the packages whose code runs under the
+  simulated clock: ``netsim``, ``core``, ``chaos``, ``collective``,
+  ``telemetry``);
+* intentional exceptions are suppressed inline with
+  ``# repro: noqa[RULE]`` (or ``# repro: noqa[RULE1,RULE2]``, or a bare
+  ``# repro: noqa`` suppressing every rule on that line); suppressed
+  diagnostics stay in the report, marked, so ``repro lint --json`` can
+  audit them;
+* output is either human ``path:line:col: RULE message`` lines or a
+  JSON document with per-rule counts (the CI contract: zero
+  *unsuppressed* diagnostics).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Type
+
+#: Packages whose code runs under the simulated clock; SIM rules apply
+#: only to files whose path contains one of these as a component under
+#: ``repro``.
+SIM_PATH_PACKAGES = frozenset({"netsim", "core", "chaos", "collective", "telemetry"})
+
+#: Inline suppression directive: ``# repro: noqa`` or
+#: ``# repro: noqa[SIM001]`` or ``# repro: noqa[SIM001,OBS001]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: True when an inline ``# repro: noqa`` directive covers this line.
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """Human one-liner, editor-clickable."""
+        marker = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{marker}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about the file being linted."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    #: True when the file belongs to a simulated-clock package.
+    sim_path: bool
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`/:attr:`summary`, declare the AST node
+    types they want via :attr:`interests`, and implement :meth:`visit`,
+    yielding ``(node, message)`` pairs for each violation.  ``ancestors``
+    is the enclosing-node stack, outermost first (the module node is
+    ``ancestors[0]``), so nesting-sensitive rules need no bookkeeping of
+    their own.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    #: Node classes dispatched to this rule.
+    interests: tuple[type, ...] = ()
+    #: True restricts the rule to SIM_PATH_PACKAGES files.
+    sim_path_only: bool = False
+
+    def visit(
+        self, node: ast.AST, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def applies(self, ctx: FileContext) -> bool:
+        """True when this rule should run on ``ctx``'s file."""
+        return ctx.sim_path or not self.sim_path_only
+
+
+#: rule_id -> rule class, in registration order.
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """The registered rule classes, keyed by id (importing rules lazily)."""
+    # The rule pack registers itself on import; importing here (not at
+    # module top) keeps engine <-> rules acyclic.
+    from repro.lint import rules  # noqa: F401  (import installs the pack)
+
+    return dict(_REGISTRY)
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Single-pass walker dispatching nodes to interested rules."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: FileContext) -> None:
+        self._rules = rules
+        self._ctx = ctx
+        self._stack: list[ast.AST] = []
+        self.found: list[tuple[Rule, ast.AST, str]] = []
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for rule in self._rules:
+            if isinstance(node, rule.interests):
+                for where, message in rule.visit(node, self._stack, self._ctx):
+                    self.found.append((rule, where, message))
+        self._stack.append(node)
+        super().generic_visit(node)
+        self._stack.pop()
+
+
+def suppressions_for(source: str) -> dict[int, Optional[frozenset[str]]]:
+    """Map line number -> suppressed rule ids (None = all rules).
+
+    Only physical lines carrying a ``# repro: noqa`` comment appear in
+    the map.
+    """
+    out: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        if match.group(1) is None:
+            out[lineno] = None
+        else:
+            ids = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+            out[lineno] = ids
+    return out
+
+
+def is_sim_path(path: str | Path) -> bool:
+    """True when ``path`` belongs to a simulated-clock package."""
+    parts = Path(path).parts
+    return any(part in SIM_PATH_PACKAGES for part in parts)
+
+
+def _node_location(node: ast.AST) -> tuple[int, int]:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return line, col
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    sim_path: Optional[bool] = None,
+    rule_ids: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Lint one source string; returns all diagnostics (incl. suppressed).
+
+    ``sim_path`` overrides path-based package inference (used by tests
+    whose fixture files live outside the package tree).  ``rule_ids``
+    restricts the run to a subset of the registry.
+    """
+    tree = ast.parse(source, filename=path)
+    if sim_path is None:
+        sim_path = is_sim_path(path)
+    ctx = FileContext(path=path, source=source, tree=tree, sim_path=sim_path)
+    registry = all_rules()
+    if rule_ids is not None:
+        unknown = set(rule_ids) - set(registry)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        registry = {rid: registry[rid] for rid in rule_ids}
+    active = [cls() for cls in registry.values()]
+    active = [rule for rule in active if rule.applies(ctx)]
+    dispatcher = _Dispatcher(active, ctx)
+    dispatcher.visit(tree)
+
+    suppressed_lines = suppressions_for(source)
+    diagnostics: list[Diagnostic] = []
+    for rule, node, message in dispatcher.found:
+        line, col = _node_location(node)
+        covered = suppressed_lines.get(line, ...)
+        suppressed = covered is None or (covered is not ... and rule.rule_id in covered)
+        diagnostics.append(
+            Diagnostic(
+                rule=rule.rule_id,
+                path=path,
+                line=line,
+                col=col,
+                message=message,
+                suppressed=suppressed,
+            )
+        )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a file set."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Diagnostic]:
+        """The violations that fail the build."""
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def suppressed(self) -> list[Diagnostic]:
+        """Violations waived by an inline ``# repro: noqa`` directive."""
+        return [d for d in self.diagnostics if d.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed diagnostics remain."""
+        return not self.unsuppressed
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Unsuppressed violation count per rule id."""
+        counts: dict[str, int] = {}
+        for diag in self.unsuppressed:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        """JSON document (the ``repro lint --json`` payload)."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "unsuppressed": len(self.unsuppressed),
+            "suppressed": len(self.suppressed),
+            "counts_by_rule": self.counts_by_rule(),
+            "rules": {
+                rule_id: cls.summary for rule_id, cls in sorted(all_rules().items())
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        """Human report: one line per diagnostic plus a summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"repro lint: {self.files_checked} files, "
+            f"{len(self.unsuppressed)} violation(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files beneath them."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rule_ids: Optional[Iterable[str]] = None
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.diagnostics.extend(
+            lint_source(source, path=str(file_path), rule_ids=rule_ids)
+        )
+        report.files_checked += 1
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return report

@@ -1,0 +1,366 @@
+"""The simulation-safety rule pack.
+
+Every rule here encodes one clause of the simulator's determinism
+contract (see ``docs/architecture.md``, "Determinism contract"):
+
+========  ==============================================================
+SIM001    no wall-clock reads (``time.time``/``perf_counter``/
+          ``datetime.now`` ...) in sim-path packages — simulated code
+          derives time from the event loop (``network.now``)
+SIM002    no unseeded or process-global RNG (``random.random``,
+          ``random.Random()`` without a seed, ``numpy.random.*``
+          module-level functions, ``default_rng()`` without a seed)
+SIM003    no exact ``==``/``!=`` comparison of simulated-time floats —
+          repeated float arithmetic on the event clock makes exact
+          equality schedule-dependent
+SIM004    no iteration over set-typed expressions in sim-path code
+          without ``sorted()`` — set order depends on hash values,
+          which are perturbed per process for strings
+SIM005    event callbacks must not re-enter the event loop
+          (``.run()``/``.run_until()``/``.pop_due()`` inside a nested
+          callback ``def``) — schedule follow-up timers instead
+OBS001    metrics must be registered (``registry.counter/gauge/
+          histogram``) at module/``__init__`` scope, not inside loops
+========  ==============================================================
+
+Rules are registered on import; the engine pulls them in through
+:func:`repro.lint.engine.all_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.engine import FileContext, Rule, register
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from Attribute/Name chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _enclosing_functions(ancestors: Sequence[ast.AST]) -> int:
+    """How many function scopes (def/async def/lambda) enclose the node."""
+    return sum(
+        isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        for a in ancestors
+    )
+
+
+# ----------------------------------------------------------------------
+# SIM001 — wall clock
+# ----------------------------------------------------------------------
+#: Fully dotted callables that read host clocks.  ``perf_counter`` and
+#: ``monotonic`` are not wall time, but they are just as nondeterministic
+#: from the simulation's point of view, so they need an explicit waiver.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Names that, imported from ``time``/``datetime``, smuggle the wall
+#: clock in under a bare name the call-site check cannot see.
+_WALL_CLOCK_IMPORTS = {
+    "time": frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+    ),
+    "datetime": frozenset({"datetime", "date"}),
+}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "SIM001"
+    summary = "no wall-clock reads in simulation-path packages"
+    interests = (ast.Call, ast.ImportFrom)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.AST, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(node, ast.ImportFrom):
+            banned = _WALL_CLOCK_IMPORTS.get(node.module or "")
+            if banned:
+                for alias in node.names:
+                    if alias.name in banned:
+                        yield (
+                            node,
+                            f"importing {alias.name!r} from {node.module!r} brings the "
+                            "wall clock into a simulation path; use the event loop's "
+                            "simulated time (network.now) instead",
+                        )
+            return
+        name = dotted_name(node.func)  # type: ignore[union-attr]
+        if name in _WALL_CLOCK:
+            yield (
+                node,
+                f"wall-clock call {name}() in a simulation path; simulated code must "
+                "derive time from the event loop (network.now)",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM002 — unseeded / global RNG
+# ----------------------------------------------------------------------
+#: Module-level functions of the stdlib global RNG.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "random_sample",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+        "getrandbits",
+    }
+)
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """True when the constructor/call receives any positional or seed kwarg."""
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in call.keywords)
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "SIM002"
+    summary = "no unseeded or process-global RNG in simulation-path packages"
+    interests = (ast.Call,)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.Call, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        root, _, rest = name.partition(".")
+        # stdlib: random.random(), random.randint(...), ...
+        if root == "random" and rest in _GLOBAL_RANDOM_FNS:
+            yield (
+                node,
+                f"{name}() uses the process-global RNG; construct a seeded "
+                "random.Random(seed) / numpy Generator instead",
+            )
+            return
+        # stdlib: random.Random() / Random() without a seed.
+        if name in ("random.Random", "Random") and not _has_seed_argument(node):
+            yield (node, f"{name}() constructed without a seed; pass an explicit seed")
+            return
+        # numpy: np.random.<fn>() module-level calls drive the global
+        # BitGenerator; default_rng()/Generator(...) need a seed argument.
+        if root in ("np", "numpy") and rest.startswith("random."):
+            fn = rest.split(".", 1)[1]
+            if fn in ("default_rng", "Generator", "SeedSequence", "PCG64", "Philox"):
+                if fn == "default_rng" and not _has_seed_argument(node):
+                    yield (
+                        node,
+                        f"{name}() without a seed draws entropy from the OS; pass an "
+                        "explicit seed",
+                    )
+                return
+            yield (
+                node,
+                f"{name}() uses numpy's process-global RNG; use a seeded "
+                "numpy.random.default_rng(seed) Generator instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM003 — exact equality on simulated-time floats
+# ----------------------------------------------------------------------
+#: Attribute / name spellings that denote simulated-time values.
+_TIME_SHAPED_ATTRS = frozenset(
+    {"now", "time", "start_time", "end_time", "ready_at", "onset", "injected_at"}
+)
+
+
+def _is_time_shaped(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in _TIME_SHAPED_ATTRS:
+        return True
+    if isinstance(node, ast.Name) and node.id == "now":
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and (name == "now" or name.endswith(".now"))
+    return False
+
+
+@register
+class ExactTimeComparisonRule(Rule):
+    rule_id = "SIM003"
+    summary = "no exact ==/!= comparison of simulated-time floats"
+    interests = (ast.Compare,)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.Compare, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:], strict=False):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # `x.end_time == None` style is SIM-irrelevant (identity
+            # checks belong to ruff E711); skip None comparisons.
+            if any(
+                isinstance(side, ast.Constant) and side.value is None
+                for side in (left, right)
+            ):
+                continue
+            if _is_time_shaped(left) or _is_time_shaped(right):
+                yield (
+                    node,
+                    "exact ==/!= on a simulated-time float is schedule-dependent; "
+                    "use math.isclose(...) or an ordered bound instead",
+                )
+                return
+
+
+# ----------------------------------------------------------------------
+# SIM004 — unordered set iteration
+# ----------------------------------------------------------------------
+_SET_RETURNING_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference", "keys"}
+)
+
+
+def _is_set_typed(node: ast.AST) -> bool:
+    """Syntactic approximation of 'this expression is a set'."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_RETURNING_METHODS
+        ):
+            # `.keys()` on a dict is insertion-ordered and deterministic,
+            # so only the set algebra methods count.
+            return node.func.attr != "keys"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_typed(node.left) or _is_set_typed(node.right)
+    return False
+
+
+@register
+class UnorderedSetIterationRule(Rule):
+    rule_id = "SIM004"
+    summary = "no iteration over set-typed expressions without sorted() in sim paths"
+    interests = (ast.For, ast.AsyncFor, ast.comprehension)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.AST, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        iterable = node.iter  # type: ignore[union-attr]
+        if _is_set_typed(iterable):
+            # comprehension nodes carry no lineno; report at the iterable.
+            yield (
+                iterable,
+                "iterating a set-typed expression: order depends on hash seeds and "
+                "insertion history; wrap it in sorted(...) to fix the event order",
+            )
+
+
+# ----------------------------------------------------------------------
+# SIM005 — re-entrant event-loop calls from callbacks
+# ----------------------------------------------------------------------
+_LOOP_DRIVERS = frozenset({"run", "run_until", "pop_due"})
+
+
+@register
+class ReentrantRunRule(Rule):
+    rule_id = "SIM005"
+    summary = "event callbacks must not re-enter the event loop (.run/.pop_due)"
+    interests = (ast.Call,)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.Call, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _LOOP_DRIVERS):
+            return
+        # The event-callback idiom in this codebase is a closure: a `def`
+        # nested inside the function that schedules it.  Top-level
+        # functions and methods drive the loop legitimately.
+        if _enclosing_functions(ancestors) >= 2:
+            yield (
+                node,
+                f".{func.attr}() called from inside a nested callback re-enters the "
+                "event loop re-entrantly; schedule follow-up work with "
+                "schedule()/schedule_at() instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# OBS001 — metric registration in hot loops
+# ----------------------------------------------------------------------
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+_REGISTRY_NAMES = ("registry", "metrics")
+
+
+def _is_registry_receiver(func: ast.Attribute) -> bool:
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    leaf = receiver.rsplit(".", 1)[-1].lstrip("_")
+    return any(leaf == name or leaf.endswith("_" + name) for name in _REGISTRY_NAMES)
+
+
+@register
+class MetricRegistrationInLoopRule(Rule):
+    rule_id = "OBS001"
+    summary = "register metrics at module/__init__ scope, not inside loops"
+    interests = (ast.Call,)
+    sim_path_only = False
+
+    def visit(
+        self, node: ast.Call, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _METRIC_FACTORIES):
+            return
+        if not _is_registry_receiver(func):
+            return
+        if any(isinstance(a, (ast.For, ast.AsyncFor, ast.While)) for a in ancestors):
+            yield (
+                node,
+                f"registry.{func.attr}(...) inside a loop registers (or re-looks-up) "
+                "a metric per iteration; hoist the handle to module or __init__ scope",
+            )

@@ -13,15 +13,15 @@ failures — without simulating individual packets, which keeps month-long
 and 512-GPU experiments tractable.
 """
 
+from repro.netsim.congestion import CongestionConfig, CongestionModel
 from repro.netsim.engine import EventQueue, TimerHandle
-from repro.netsim.links import Link, LinkState
-from repro.netsim.flows import Flow, FlowState
 from repro.netsim.fairness import max_min_rates
+from repro.netsim.flows import Flow, FlowState
+from repro.netsim.links import Link, LinkState
 from repro.netsim.network import FlowNetwork
 from repro.netsim.routing import EcmpHasher
-from repro.netsim.congestion import CongestionModel, CongestionConfig
 from repro.netsim.trace import SimTracer, TraceEvent, TraceEventType
-from repro.netsim.units import GBPS, MBPS, KIB, MIB, GIB, gbps_to_bits, bits_to_gbps
+from repro.netsim.units import GBPS, GIB, KIB, MBPS, MIB, bits_to_gbps, gbps_to_bits
 
 __all__ = [
     "EventQueue",

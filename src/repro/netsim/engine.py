@@ -28,8 +28,9 @@ class _Entry:
 class TimerHandle:
     """Handle returned by :meth:`EventQueue.schedule`; supports cancellation."""
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, queue: "EventQueue | None" = None) -> None:
         self._entry = entry
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -43,22 +44,42 @@ class TimerHandle:
 
     def cancel(self) -> None:
         """Prevent the timer from firing.  Idempotent."""
-        self._entry.cancelled = True
+        if self._entry.cancelled:
+            return
+        if self._queue is not None:
+            self._queue._note_cancel(self._entry)
+        else:
+            self._entry.cancelled = True
 
 
 class EventQueue:
-    """Min-heap of timers with deterministic same-time ordering."""
+    """Min-heap of timers with deterministic same-time ordering.
+
+    Cancellation is lazy — a cancelled entry stays in the heap, flagged,
+    until popped — but the queue tracks how many dead entries it holds
+    and compacts the heap once they are the majority, so workloads with
+    heavy timer churn (long chaos campaigns cancelling thousands of
+    hold-down/backoff timers) keep the heap proportional to the *live*
+    timer count instead of growing unboundedly.
+    """
+
+    #: Heaps smaller than this are never compacted: rebuilds would cost
+    #: more than the few dead entries they could reclaim.
+    _COMPACT_MIN_HEAP = 64
 
     def __init__(self) -> None:
         self._heap: list[_Entry] = []
         self._seq = itertools.count()
+        self._cancelled_pending = 0
         #: Timers ever scheduled / fired (cheap counters the network's
         #: observability gauges read; cancellations count as neither).
         self.timers_scheduled = 0
         self.timers_fired = 0
+        #: Times the lazy sweep rebuilt the heap (observability/tests).
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        return len(self._heap) - self._cancelled_pending
 
     def depth(self) -> int:
         """Heap size including cancelled-but-unpopped entries (O(1)).
@@ -76,7 +97,7 @@ class EventQueue:
         entry = _Entry(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, entry)
         self.timers_scheduled += 1
-        return TimerHandle(entry)
+        return TimerHandle(entry, self)
 
     def next_time(self) -> float | None:
         """Time of the earliest pending timer, or None if the queue is empty."""
@@ -93,7 +114,9 @@ class EventQueue:
         due: list[Callable[[], None]] = []
         while self._heap and self._heap[0].time <= now:
             entry = heapq.heappop(self._heap)
-            if not entry.cancelled:
+            if entry.cancelled:
+                self._cancelled_pending -= 1
+            else:
                 due.append(entry.callback)
         self.timers_fired += len(due)
         return due
@@ -101,3 +124,22 @@ class EventQueue:
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
+
+    def _note_cancel(self, entry: _Entry) -> None:
+        """Flag ``entry`` dead and compact the heap when the dead dominate.
+
+        Rebuilding preserves ordering exactly: live entries keep their
+        ``(time, seq)`` keys, so heapify reproduces the same firing order
+        the lazy path would have produced.
+        """
+        entry.cancelled = True
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+            self.compactions += 1

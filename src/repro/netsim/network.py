@@ -62,6 +62,7 @@ class FlowNetwork:
         self._queue = EventQueue()
         self._cc_timer: Optional[TimerHandle] = None
         self._flow_seq = 0
+        self._running = False
         registry = get_registry(metrics)
         registry.gauge(
             "netsim_event_queue_depth", "Timer heap entries (incl. cancelled)"
@@ -179,8 +180,27 @@ class FlowNetwork:
 
         Runs until there are no more events, or until simulated time
         reaches ``until`` (when given, ``now`` ends exactly at ``until``).
+
+        Re-entrant calls (an event callback calling ``run()`` again) are
+        rejected: they would interleave two event loops over one heap
+        and fire timers out of ``(time, seq)`` order — the runtime twin
+        of lint rule SIM005.
         """
-        wall_start = time.perf_counter()
+        if self._running:
+            raise RuntimeError(
+                "FlowNetwork.run() re-entered from an event callback; "
+                "schedule follow-up work with schedule()/schedule_at() instead"
+            )
+        self._running = True
+        try:
+            self._run(until)
+        finally:
+            self._running = False
+
+    def _run(self, until: Optional[float]) -> None:
+        # Wall-clock reads feed the sim-vs-wall observability counters
+        # only; simulated behaviour never depends on them.
+        wall_start = time.perf_counter()  # repro: noqa[SIM001]
         sim_start = self.now
         while True:
             rates = self.compute_rates()
@@ -203,7 +223,8 @@ class FlowNetwork:
             self.now = until
             self._fire_completions()
         self._m_sim_seconds.inc(self.now - sim_start)
-        self._m_wall_seconds.inc(time.perf_counter() - wall_start)
+        # Same waiver as above: wall time is observability-only here.
+        self._m_wall_seconds.inc(time.perf_counter() - wall_start)  # repro: noqa[SIM001]
 
     def compute_rates(self) -> dict[object, float]:
         """Instantaneous max-min fair rates of the active flows."""

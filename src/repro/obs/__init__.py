@@ -28,12 +28,7 @@ from repro.obs.metrics import (
     get_registry,
 )
 from repro.obs.report import ObservabilityPlane, build_snapshot, render_dashboard
-from repro.obs.trace import (
-    STAGES,
-    FaultSpan,
-    FaultTracer,
-    latency_histogram,
-)
+from repro.obs.trace import STAGES, FaultSpan, FaultTracer, latency_histogram
 
 __all__ = [
     "DEFAULT_REGISTRY",

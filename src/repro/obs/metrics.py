@@ -143,7 +143,7 @@ class Histogram:
         """Cumulative ``{le: count}`` map in Prometheus convention."""
         out: dict[str, int] = {}
         running = 0
-        for bound, bucket in zip(self._bounds, self._bucket_counts):
+        for bound, bucket in zip(self._bounds, self._bucket_counts, strict=True):
             running += bucket
             key = "+Inf" if math.isinf(bound) else format(bound, "g")
             out[key] = running
@@ -226,7 +226,7 @@ class MetricFamily:
     def series(self) -> Iterable[tuple[dict[str, str], object]]:
         """Every (labels-dict, instrument) pair of this family."""
         for key, child in list(self._children.items()):
-            yield dict(zip(self.label_names, key)), child
+            yield dict(zip(self.label_names, key, strict=True)), child
 
 
 class MetricsRegistry:

@@ -6,7 +6,7 @@ library's monitoring records from local workers and forward them to the
 master, which holds the cluster-wide view the detectors analyze.
 """
 
-from repro.telemetry.agent import C4Agent, AgentPlane
+from repro.telemetry.agent import AgentPlane, C4Agent
 from repro.telemetry.collector import CentralCollector, CommProgress
 
 __all__ = ["C4Agent", "AgentPlane", "CentralCollector", "CommProgress"]

@@ -12,12 +12,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Optional
 
-from repro.collective.monitoring import (
-    CommunicatorRecord,
-    MessageRecord,
-    OpLaunchRecord,
-    OpRecord,
-)
+from repro.collective.monitoring import CommunicatorRecord, MessageRecord, OpLaunchRecord, OpRecord
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 

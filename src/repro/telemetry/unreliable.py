@@ -101,8 +101,17 @@ class UnreliableChannel:
             if attempt >= cfg.max_retries:
                 self.abandoned += 1
                 return
+            # Retransmits are jittered like deliveries: a bare round-number
+            # timeout would make every record dropped in the same step
+            # retry at the same instant, and same-instant retries consume
+            # the shared channel RNG in timer-tie-break order — a real
+            # ordering race (caught by `repro lint --racecheck`).  Real
+            # retransmit timers wobble anyway.
+            retry_delay = cfg.retransmit_timeout
+            if cfg.jitter > 0:
+                retry_delay += float(self._rng.exponential(cfg.jitter))
             self.network.schedule(
-                cfg.retransmit_timeout,
+                retry_delay,
                 lambda: self._attempt(deliver, attempt + 1),
             )
             return

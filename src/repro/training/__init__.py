@@ -7,21 +7,21 @@ compute phases and collective communication on the simulated fabric
 Monte-Carlo behind the downtime accounting of Tables I and III.
 """
 
-from repro.training.models import ModelConfig, GPT_22B, GPT_175B, LLAMA_7B, LLAMA_13B
-from repro.training.parallelism import ParallelismPlan
-from repro.training.job import TrainingJob, JobSpec, StepBreakdown
 from repro.training.checkpoint import CheckpointPolicy
-from repro.training.memory_checkpoint import InMemoryCheckpointer, Snapshot
-from repro.training.recovery import RecoveryEvent, RecoveryOrchestrator, RecoveryReport
-from repro.training.scheduler import Allocation, ClusterScheduler, SchedulingError
+from repro.training.job import JobSpec, StepBreakdown, TrainingJob
 from repro.training.lifetime import (
-    LifetimeConfig,
-    DowntimeBreakdown,
-    OperationsModel,
     BASELINE_OPERATIONS,
     C4D_OPERATIONS,
+    DowntimeBreakdown,
+    LifetimeConfig,
+    OperationsModel,
     simulate_lifetime,
 )
+from repro.training.memory_checkpoint import InMemoryCheckpointer, Snapshot
+from repro.training.models import GPT_175B, GPT_22B, LLAMA_13B, LLAMA_7B, ModelConfig
+from repro.training.parallelism import ParallelismPlan
+from repro.training.recovery import RecoveryEvent, RecoveryOrchestrator, RecoveryReport
+from repro.training.scheduler import Allocation, ClusterScheduler, SchedulingError
 
 __all__ = [
     "ModelConfig",

@@ -28,11 +28,7 @@ import numpy as np
 
 from repro.cluster.faults import FaultInjector, FaultRates
 from repro.core.c4d.classifier import CauseBucket, classify_fault
-from repro.training.checkpoint import (
-    CheckpointPolicy,
-    FREQUENT_CHECKPOINTS,
-    SPARSE_CHECKPOINTS,
-)
+from repro.training.checkpoint import FREQUENT_CHECKPOINTS, SPARSE_CHECKPOINTS, CheckpointPolicy
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,7 @@
 """Workload generators: the paper's job mixes as reusable builders."""
 
 from repro.workloads.generator import (
+    FIG14_SPECS,
     Scenario,
     allreduce_benchmark,
     build_cluster,
@@ -8,7 +9,6 @@ from repro.workloads.generator import (
     fig12_spec,
     fig14_jobs,
     scaling_sweep_job,
-    FIG14_SPECS,
 )
 
 __all__ = [

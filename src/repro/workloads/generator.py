@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES, pod_spec
+from repro.cluster.specs import TESTBED_16_NODES, ClusterSpec, pod_spec
 from repro.cluster.topology import ClusterTopology
 from repro.collective.algorithms import OpType
 from repro.collective.context import CollectiveContext, RepeatedOp
@@ -22,7 +22,7 @@ from repro.netsim.congestion import CongestionModel
 from repro.netsim.network import FlowNetwork
 from repro.netsim.units import GIB
 from repro.training.job import JobSpec, TrainingJob
-from repro.training.models import GPT_22B, GPT_175B, LLAMA_7B
+from repro.training.models import GPT_175B, GPT_22B, LLAMA_7B
 from repro.training.parallelism import ParallelismPlan
 
 

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.cluster.faults import (
+    PAPER_CRASH_MIX,
+    USER_VIEW,
     FaultClass,
     FaultEvent,
     FaultInjector,
     FaultRates,
     FaultType,
-    PAPER_CRASH_MIX,
-    USER_VIEW,
 )
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology
@@ -163,7 +163,7 @@ def test_flapping_events_share_episode_and_alternate_windows():
         # One victim node per episode; recurrences never overlap.
         assert len({e.component for e in episode_events}) == 1
         ordered = sorted(episode_events, key=lambda e: e.time)
-        for earlier, later in zip(ordered, ordered[1:]):
+        for earlier, later in zip(ordered, ordered[1:], strict=False):
             assert earlier.end_time <= later.time
 
 

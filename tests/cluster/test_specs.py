@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES, pod_spec
+from repro.cluster.specs import TESTBED_16_NODES, ClusterSpec, pod_spec
 from repro.netsim.units import GBPS
 
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.collective.algorithms import (
-    Algorithm,
     DEFAULT_ALGORITHM,
+    Algorithm,
     OpType,
     alltoall_pair_bits,
     busbw,

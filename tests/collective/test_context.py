@@ -5,10 +5,10 @@ import pytest
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology
 from repro.collective.algorithms import OpType
+from repro.collective.communicator import RankLocation
 from repro.collective.context import CollectiveContext, RepeatedOp
 from repro.collective.monitoring import RecordingSink
 from repro.collective.placement import contiguous_ranks
-from repro.collective.communicator import RankLocation
 from repro.netsim.network import FlowNetwork
 from repro.netsim.units import GIB
 

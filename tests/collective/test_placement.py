@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.collective.placement import (
-    contiguous_ranks,
-    dp_groups,
-    pp_stage_nodes,
-    tp_groups,
-)
+from repro.collective.placement import contiguous_ranks, dp_groups, pp_stage_nodes, tp_groups
 
 
 def test_contiguous_order():

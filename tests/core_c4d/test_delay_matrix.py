@@ -3,11 +3,7 @@
 import pytest
 
 from repro.collective.monitoring import MessageRecord
-from repro.core.c4d.delay_matrix import (
-    analyze_delay_matrix,
-    build_delay_matrix,
-    DelayMatrix,
-)
+from repro.core.c4d.delay_matrix import DelayMatrix, analyze_delay_matrix, build_delay_matrix
 from repro.core.c4d.events import SuspectKind
 
 

@@ -2,12 +2,7 @@
 
 from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import RankLocation
-from repro.collective.monitoring import (
-    CommunicatorRecord,
-    MessageRecord,
-    OpLaunchRecord,
-    OpRecord,
-)
+from repro.collective.monitoring import CommunicatorRecord, MessageRecord, OpLaunchRecord, OpRecord
 from repro.core.c4d.detectors import (
     CommSlowDetector,
     DetectorConfig,

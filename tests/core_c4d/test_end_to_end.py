@@ -7,6 +7,7 @@ component without ever reading ground truth.
 """
 
 import numpy as np
+
 from repro.cluster.faults import FaultInjector
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology

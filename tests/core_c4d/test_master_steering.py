@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.faults import FaultEvent, FaultClass, FaultType
+from repro.cluster.faults import FaultClass, FaultEvent, FaultType
 from repro.cluster.specs import TESTBED_16_NODES
 from repro.cluster.topology import ClusterTopology
 from repro.collective.algorithms import OpType
@@ -13,11 +13,7 @@ from repro.core.c4d.detectors import DetectorConfig
 from repro.core.c4d.events import Anomaly, AnomalyType, Suspect, SuspectKind
 from repro.core.c4d.master import C4DMaster
 from repro.core.c4d.rca import RootCauseAnalyzer
-from repro.core.c4d.steering import (
-    JobSteeringService,
-    SteeringConfig,
-    SteeringFaultModel,
-)
+from repro.core.c4d.steering import JobSteeringService, SteeringConfig, SteeringFaultModel
 from repro.netsim.network import FlowNetwork
 from repro.telemetry.collector import CentralCollector
 

@@ -1,0 +1,6 @@
+# Fixture: OBS001 violation — metric registered inside a hot loop.
+
+
+def observe(registry, flows):
+    for flow in flows:
+        registry.counter("flow_bytes_total", "Bytes").inc(flow.size)  # OBS001

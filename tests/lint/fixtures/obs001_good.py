@@ -1,0 +1,7 @@
+# Fixture: OBS001-clean — the handle is registered once, reused in the loop.
+
+
+def observe(registry, flows):
+    counter = registry.counter("flow_bytes_total", "Bytes")
+    for flow in flows:
+        counter.inc(flow.size)

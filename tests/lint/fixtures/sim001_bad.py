@@ -1,0 +1,8 @@
+# Fixture: SIM001 violations — wall-clock reads in a simulation path.
+import time
+from time import perf_counter  # SIM001: wall-clock import
+
+
+def stamp(record):
+    record["wall"] = time.time()  # SIM001: wall clock
+    return perf_counter()

@@ -1,0 +1,6 @@
+# Fixture: SIM001-clean — time comes from the event loop.
+
+
+def stamp(record, network):
+    record["sim"] = network.now
+    return network.now

@@ -1,0 +1,12 @@
+# Fixture: SIM002 violations — unseeded / process-global RNG.
+import random
+
+import numpy as np
+
+
+def sample():
+    first = random.random()  # SIM002: global stdlib RNG
+    rng = random.Random()  # SIM002: no seed
+    gen = np.random.default_rng()  # SIM002: OS entropy
+    noise = np.random.normal()  # SIM002: global numpy RNG
+    return first, rng, gen, noise

@@ -1,0 +1,11 @@
+# Fixture: SIM002-clean — every generator is explicitly seeded.
+import random
+
+import numpy as np
+
+
+def sample(seed: int):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    keyword = np.random.default_rng(seed=seed + 1)
+    return rng.random(), gen.random(), keyword.random()

@@ -1,0 +1,7 @@
+# Fixture: SIM003 violations — exact equality on simulated-time floats.
+
+
+def due(entry, network):
+    if entry.time == network.now:  # SIM003: exact equality on sim time
+        return True
+    return entry.end_time != network.now  # SIM003 again

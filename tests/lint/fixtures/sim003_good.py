@@ -1,0 +1,10 @@
+# Fixture: SIM003-clean — tolerant / ordered time comparisons.
+import math
+
+
+def due(entry, network):
+    if math.isclose(entry.time, network.now):
+        return True
+    if entry.end_time is None:
+        return False
+    return entry.end_time <= network.now

@@ -1,0 +1,9 @@
+# Fixture: SIM004 violations — iterating set-typed expressions unsorted.
+
+
+def emit(queue, victims, survivors):
+    for node in set(victims):  # SIM004: set() iteration
+        queue.append(node)
+    for node in set(victims) & set(survivors):  # SIM004: set algebra
+        queue.append(node)
+    return [n for n in {0, 1, 2}]  # SIM004: set-literal comprehension

@@ -1,0 +1,9 @@
+# Fixture: SIM004-clean — set iteration is always ordered via sorted().
+
+
+def emit(queue, victims, survivors):
+    for node in sorted(set(victims)):
+        queue.append(node)
+    if set(victims).intersection(survivors):
+        queue.append("overlap")
+    return [n for n in sorted({0, 1, 2})]

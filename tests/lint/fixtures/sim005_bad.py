@@ -1,0 +1,9 @@
+# Fixture: SIM005 violation — event callback re-enters the event loop.
+
+
+def drive(network, until):
+    def callback():
+        network.run(until=until)  # SIM005: re-entrant run from a callback
+
+    network.schedule(1.0, callback)
+    network.run(until=until)  # fine: top-level drive

@@ -1,0 +1,9 @@
+# Fixture: SIM005-clean — callbacks schedule follow-up work instead.
+
+
+def drive(network, until):
+    def callback():
+        network.schedule(1.0, callback)
+
+    network.schedule(1.0, callback)
+    network.run(until=until)

@@ -1,0 +1,9 @@
+# Fixture: suppression handling — every violation here carries a waiver.
+import time
+
+
+def stamp(record):
+    # Wall clock feeds a log line only, never simulated behaviour.
+    record["wall"] = time.time()  # repro: noqa[SIM001]
+    record["all"] = time.monotonic()  # repro: noqa
+    return record

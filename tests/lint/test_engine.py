@@ -1,0 +1,120 @@
+"""Engine-level tests: suppression semantics, JSON shape, path walking."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.engine import is_sim_path, suppressions_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_rule_specific_noqa_suppresses_only_that_rule() -> None:
+    source = "import time\nnow = time.time()  # repro: noqa[SIM001]\n"
+    diagnostics = lint_source(source, sim_path=True)
+    assert [d.rule for d in diagnostics] == ["SIM001"]
+    assert diagnostics[0].suppressed
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line() -> None:
+    source = "import time\nnow = time.monotonic()  # repro: noqa\n"
+    diagnostics = lint_source(source, sim_path=True)
+    assert diagnostics[0].suppressed
+
+
+def test_non_matching_noqa_does_not_suppress() -> None:
+    source = "import time\nnow = time.time()  # repro: noqa[SIM002]\n"
+    diagnostics = lint_source(source, sim_path=True)
+    assert [d.rule for d in diagnostics] == ["SIM001"]
+    assert not diagnostics[0].suppressed
+
+
+def test_suppressed_fixture_has_no_unsuppressed_diagnostics() -> None:
+    source = (FIXTURES / "suppressed.py").read_text()
+    diagnostics = lint_source(source, path="suppressed.py", sim_path=True)
+    assert diagnostics, "the fixture is supposed to contain waived violations"
+    assert all(d.suppressed for d in diagnostics)
+
+
+def test_suppressions_for_parses_directives() -> None:
+    source = "a = 1\nb = 2  # repro: noqa[SIM001, OBS001]\nc = 3  # repro: noqa\n"
+    assert suppressions_for(source) == {
+        2: frozenset({"SIM001", "OBS001"}),
+        3: None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scoping and rule selection
+# ----------------------------------------------------------------------
+def test_is_sim_path_matches_package_components() -> None:
+    assert is_sim_path("src/repro/netsim/engine.py")
+    assert is_sim_path("src/repro/chaos/fabric.py")
+    assert not is_sim_path("src/repro/cli.py")
+    assert not is_sim_path("tests/lint/fixtures/sim001_bad.py")
+
+
+def test_rule_ids_filter_restricts_the_run() -> None:
+    source = "import time\nnow = time.time()\nfor x in set(items):\n    use(x)\n"
+    only_sim004 = lint_source(source, sim_path=True, rule_ids=["SIM004"])
+    assert [d.rule for d in only_sim004] == ["SIM004"]
+
+
+def test_unknown_rule_ids_raise() -> None:
+    with pytest.raises(KeyError):
+        lint_source("x = 1\n", rule_ids=["NOPE999"])
+
+
+# ----------------------------------------------------------------------
+# Report aggregation and JSON shape
+# ----------------------------------------------------------------------
+def test_lint_paths_walks_fixture_directory() -> None:
+    report = lint_paths([FIXTURES])
+    assert report.files_checked == len(list(FIXTURES.glob("*.py")))
+    # Fixtures live outside the sim packages, so only the everywhere
+    # rules (OBS001) fire via path inference.
+    assert set(report.counts_by_rule()) == {"OBS001"}
+    assert not report.ok
+
+
+def test_json_report_shape() -> None:
+    report = lint_paths([FIXTURES / "obs001_bad.py"])
+    payload = json.loads(report.render_json())
+    assert set(payload) == {
+        "ok",
+        "files_checked",
+        "unsuppressed",
+        "suppressed",
+        "counts_by_rule",
+        "rules",
+        "diagnostics",
+    }
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["counts_by_rule"] == {"OBS001": 1}
+    assert set(payload["rules"]) >= {"SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "OBS001"}
+    (diag,) = payload["diagnostics"]
+    assert set(diag) == {"rule", "path", "line", "col", "message", "suppressed"}
+    assert diag["rule"] == "OBS001"
+    assert diag["path"].endswith("obs001_bad.py")
+
+
+def test_render_is_stable_and_summarised() -> None:
+    report = lint_paths([FIXTURES / "obs001_bad.py"])
+    rendered = report.render()
+    assert "OBS001" in rendered
+    assert rendered.splitlines()[-1].startswith("repro lint: 1 files, 1 violation(s)")
+
+
+def test_source_tree_is_lint_clean() -> None:
+    """The CI contract, asserted locally: zero unsuppressed diagnostics."""
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = lint_paths([src])
+    assert report.unsuppressed == [], report.render()

@@ -85,3 +85,60 @@ def test_handle_reports_time():
     queue = EventQueue()
     handle = queue.schedule(5.5, lambda: None)
     assert handle.time == 5.5
+
+
+def test_compaction_bounds_heap_depth_under_cancel_churn():
+    queue = EventQueue()
+    handles = [queue.schedule(float(i), lambda: None) for i in range(1000)]
+    keep = handles[::100]  # every 100th survives
+    for handle in handles:
+        if handle not in keep:
+            handle.cancel()
+    assert queue.compactions > 0
+    # The heap holds the survivors plus at most a minority of dead entries.
+    assert queue.depth() < 2 * len(keep) + EventQueue._COMPACT_MIN_HEAP
+    assert len(queue) == len(keep)
+
+
+def test_compaction_preserves_firing_order():
+    queue = EventQueue()
+    fired = []
+    doomed = []
+    keep = []
+    # Interleave survivors and victims on the same and different instants.
+    for i in range(200):
+        t = float(i % 10)
+        if i % 3 == 0:
+            keep.append((t, i, queue.schedule(t, lambda t=t, i=i: fired.append((t, i)))))
+        else:
+            doomed.append(queue.schedule(t, lambda: fired.append("DOOMED")))
+    for handle in doomed:
+        handle.cancel()
+    assert queue.compactions > 0
+    for callback in queue.pop_due(100.0):
+        callback()
+    # Survivors fire in (time, scheduling) order, exactly as without compaction.
+    assert fired == sorted((t, i) for t, i, _ in keep)
+    assert "DOOMED" not in fired
+
+
+def test_small_heaps_are_never_compacted():
+    queue = EventQueue()
+    handles = [queue.schedule(1.0, lambda: None) for _ in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert queue.compactions == 0
+    assert len(queue) == 0
+
+
+def test_cancel_after_compaction_is_safe():
+    queue = EventQueue()
+    handles = [queue.schedule(1.0, lambda: None) for _ in range(128)]
+    for handle in handles[:-1]:
+        handle.cancel()
+    # The last handle's entry may have been evicted by a rebuild already;
+    # cancelling it must stay idempotent and keep counts consistent.
+    handles[-1].cancel()
+    handles[-1].cancel()
+    assert len(queue) == 0
+    assert queue.pop_due(2.0) == []

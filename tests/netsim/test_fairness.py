@@ -103,7 +103,7 @@ def test_max_min_property_increasing_any_rate_needs_decrease():
 def test_many_flows_one_link():
     flows = [_flow(f"f{i}", ["a"]) for i in range(100)]
     rates = max_min_rates(flows, {"a": 100.0})
-    for fid, rate in rates.items():
+    for rate in rates.values():
         assert rate == pytest.approx(1.0)
 
 

@@ -239,3 +239,22 @@ def test_remaining_transfer_moves_between_flows():
     assert f1.state is FlowState.COMPLETED
     assert f2.state is FlowState.COMPLETED
     assert f2.end_time > f1.end_time
+
+
+def test_run_rejects_reentrant_calls():
+    network = FlowNetwork()
+    errors = []
+
+    def reenter():
+        try:
+            network.run(until=5.0)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    network.schedule(1.0, reenter)
+    network.run(until=2.0)
+    assert len(errors) == 1
+    assert "re-entered" in errors[0]
+    # The guard resets: a fresh top-level run() works afterwards.
+    network.schedule(1.0, lambda: None)
+    network.run(until=5.0)

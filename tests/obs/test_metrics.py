@@ -5,13 +5,7 @@ import math
 
 import pytest
 
-from repro.obs.metrics import (
-    DEFAULT_REGISTRY,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    get_registry,
-)
+from repro.obs.metrics import DEFAULT_REGISTRY, Gauge, Histogram, MetricsRegistry, get_registry
 
 
 # ----------------------------------------------------------------------

@@ -3,12 +3,7 @@
 import json
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.report import (
-    SNAPSHOT_VERSION,
-    ObservabilityPlane,
-    build_snapshot,
-    render_dashboard,
-)
+from repro.obs.report import SNAPSHOT_VERSION, ObservabilityPlane, build_snapshot, render_dashboard
 from repro.obs.trace import FaultTracer
 
 

@@ -1,14 +1,10 @@
 """Tests for the C4 agent plane."""
 
 import pytest
+
 from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import RankLocation
-from repro.collective.monitoring import (
-    CommunicatorRecord,
-    MessageRecord,
-    OpLaunchRecord,
-    OpRecord,
-)
+from repro.collective.monitoring import CommunicatorRecord, MessageRecord, OpLaunchRecord, OpRecord
 from repro.telemetry.agent import AgentPlane
 from repro.telemetry.collector import CentralCollector
 

@@ -4,12 +4,7 @@ import pytest
 
 from repro.collective.algorithms import Algorithm, OpType
 from repro.collective.communicator import RankLocation
-from repro.collective.monitoring import (
-    CommunicatorRecord,
-    MessageRecord,
-    OpLaunchRecord,
-    OpRecord,
-)
+from repro.collective.monitoring import CommunicatorRecord, MessageRecord, OpLaunchRecord, OpRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.collector import CentralCollector
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.training.campaign import (
-    CampaignResult,
-    ComponentStats,
-    reduction_factor,
-    run_campaign,
-)
+from repro.training.campaign import CampaignResult, ComponentStats, reduction_factor, run_campaign
 from repro.training.lifetime import BASELINE_OPERATIONS, C4D_OPERATIONS, LifetimeConfig
 
 

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.training.checkpoint import (
-    CheckpointPolicy,
-    FREQUENT_CHECKPOINTS,
-    SPARSE_CHECKPOINTS,
-)
+from repro.training.checkpoint import FREQUENT_CHECKPOINTS, SPARSE_CHECKPOINTS, CheckpointPolicy
 
 
 def test_validation():

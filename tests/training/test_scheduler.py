@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.specs import ClusterSpec, TESTBED_16_NODES
+from repro.cluster.specs import TESTBED_16_NODES, ClusterSpec
 from repro.cluster.topology import ClusterTopology
 from repro.netsim.network import FlowNetwork
 from repro.training.scheduler import ClusterScheduler, SchedulingError

@@ -96,8 +96,30 @@ def scenario_scorecard_to_dict(card: ScenarioScorecard) -> dict:
             "recovery_time": m.recovery_time,
             "recovered_links": m.recovered_links,
         }
+    controlplane = None
+    if card.controlplane is not None:
+        m = card.controlplane
+        controlplane = {
+            "kills": m.kills,
+            "recoveries": m.recoveries,
+            "failovers": m.failovers,
+            "replay_digest_match": m.replay_digest_match,
+            "replay_digest": m.replay_digest,
+            "entries_replayed": m.entries_replayed,
+            "journal_entries": m.journal_entries,
+            "snapshots": m.snapshots,
+            "recovery_seconds": m.recovery_seconds,
+            "duplicate_actions": m.duplicate_actions,
+            "fencing_rejections": m.fencing_rejections,
+            "stale_actions_executed": m.stale_actions_executed,
+            "blackout_false_isolations": m.blackout_false_isolations,
+            "coverage_min": m.coverage_min,
+            "backfilled_records": m.backfilled_records,
+            "baseline_recall": m.baseline_recall,
+        }
     return {
         "fabric": fabric,
+        "controlplane": controlplane,
         "name": card.name,
         "seed": card.seed,
         "kind": card.kind,

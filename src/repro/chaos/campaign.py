@@ -123,6 +123,12 @@ class ChaosCampaign:
             card = run_fabric_scenario(
                 scenario, metrics=self.obs.registry, tracer=tracer
             )
+        elif scenario.kind is ScenarioKind.CONTROLPLANE:
+            from repro.chaos.controlplane import run_controlplane_scenario
+
+            card = run_controlplane_scenario(
+                scenario, metrics=self.obs.registry, tracer=tracer, grace=self.grace
+            )
         else:
             card = self._run_pipeline(scenario, tracer)
         self.obs.tracer.absorb(tracer)

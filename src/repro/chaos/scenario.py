@@ -51,6 +51,7 @@ class ScenarioKind(enum.Enum):
     PIPELINE = "pipeline"  # detect -> steer on the synthetic feed
     RECOVERY = "recovery"  # crash -> checkpoint-restore on the orchestrator
     FABRIC = "fabric"  # link faults -> drain-and-migrate on the C4P master
+    CONTROLPLANE = "controlplane"  # master crashes / telemetry blackouts
 
 
 @dataclass(frozen=True)
@@ -192,6 +193,53 @@ class FabricPlan:
         )
 
 
+@dataclass(frozen=True)
+class ControlPlanePlan:
+    """Ground truth and judging knobs of one CONTROLPLANE scenario.
+
+    The plan schedules faults against the *control plane itself* — the
+    C4D master process and its telemetry supply — rather than against
+    the monitored job.  Every timestamp is deliberately off the feed
+    (5 s) and evaluation (10 s + 0.5) grids so perturbed-schedule
+    replays cannot reorder the chaos events against same-instant
+    pipeline events.
+
+    Attributes
+    ----------
+    kill_at / recover_at:
+        When the primary master dies and when the replacement claims the
+        journal.  ``failover=False`` restarts a cold instance from the
+        journal; ``failover=True`` promotes a pre-built warm standby.
+    stale_poke_at:
+        Failover only: when the fenced-out old primary attempts a write
+        (the zombie-master probe — it must be rejected, not applied).
+    partition:
+        ``(start, end)`` window during which agents cannot reach the
+        collector at all (a full telemetry blackout; the master stays
+        up and must enter degraded mode instead of isolating).
+    massacre_window / massacre_nodes:
+        Window during which the listed nodes' agents are dead — their
+        records vanish and their leases expire, blinding the master to
+        half the job while the job itself stays healthy.
+    snapshot_interval / heartbeat_interval / lease_seconds:
+        Periodic-snapshot cadence, agent keep-alive cadence, and lease
+        TTL.
+    """
+
+    kill_at: Optional[float] = None
+    recover_at: Optional[float] = None
+    failover: bool = False
+    stale_poke_at: Optional[float] = None
+    partition: Optional[tuple[float, float]] = None
+    massacre_window: Optional[tuple[float, float]] = None
+    massacre_nodes: tuple[int, ...] = ()
+    snapshot_interval: float = 60.0
+    heartbeat_interval: float = 10.0
+    lease_seconds: float = 30.0
+    degraded_coverage_threshold: float = 0.6
+    dedup_window: float = 900.0
+
+
 #: Detector hardening used by default in chaos runs: debounce over two
 #: consecutive evaluations, ten-minute per-node action hysteresis, and
 #: slow-threshold hysteresis — the configuration the acceptance
@@ -232,6 +280,8 @@ class ChaosScenario:
     corrupt_newest: int = 0
     #: FABRIC kind: the fault schedule and judging knobs.
     fabric: Optional[FabricPlan] = None
+    #: CONTROLPLANE kind: the master/telemetry fault schedule.
+    controlplane: Optional[ControlPlanePlan] = None
 
     @property
     def episodes(self) -> tuple[Episode, ...]:
@@ -490,8 +540,123 @@ def dual_plane_scenario(seed: int, duration: float = 300.0) -> ChaosScenario:
     )
 
 
+# ----------------------------------------------------------------------
+# Control-plane scenario factories
+# ----------------------------------------------------------------------
+def _crash(time: float, victim: int) -> FaultEvent:
+    return FaultEvent(
+        time=time,
+        fault_type=FaultType.CUDA_ERROR,
+        fault_class=FaultClass.CRASH,
+        is_local=True,
+        component=victim,
+    )
+
+
+def master_kill_scenario(seed: int, duration: float = 900.0) -> ChaosScenario:
+    """The C4D master dies mid-campaign and restarts from its journal.
+
+    One worker crash lands before the kill (its verdict and isolation
+    are in the journal) and one after the recovery (post-recovery recall
+    must match the no-kill baseline).  The acceptance criteria: the
+    recovered state digest equals the pre-kill digest, and no steering
+    action is ever executed twice for the same fault.
+    """
+    injector = FaultInjector(seed=seed)
+    victims = [int(v) for v in injector.pick_victims(list(range(8)), 2)]
+    plan = ControlPlanePlan(kill_at=397.3, recover_at=457.9)
+    return ChaosScenario(
+        name=f"master-kill[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.CONTROLPLANE,
+        job_nodes=8,
+        backup_nodes=2,
+        duration=duration,
+        faults=(_crash(60.3, victims[0]), _crash(600.3, victims[1])),
+        controlplane=plan,
+    )
+
+
+def failover_scenario(seed: int, duration: float = 900.0) -> ChaosScenario:
+    """A warm standby is promoted while the old primary still runs.
+
+    Identical fault plan to :func:`master_kill_scenario`, but recovery
+    promotes a pre-built standby sharing the journal store, and the
+    fenced-out old primary pokes the journal after the promotion — the
+    zombie write that epoch fencing exists to reject.
+    """
+    injector = FaultInjector(seed=seed)
+    victims = [int(v) for v in injector.pick_victims(list(range(8)), 2)]
+    plan = ControlPlanePlan(
+        kill_at=397.3, recover_at=457.9, failover=True, stale_poke_at=465.2
+    )
+    return ChaosScenario(
+        name=f"failover[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.CONTROLPLANE,
+        job_nodes=8,
+        backup_nodes=2,
+        duration=duration,
+        faults=(_crash(60.3, victims[0]), _crash(600.3, victims[1])),
+        controlplane=plan,
+    )
+
+
+def collector_partition_scenario(seed: int, duration: float = 720.0) -> ChaosScenario:
+    """Agents partitioned from the collector: a total telemetry blackout.
+
+    The master stays up and keeps evaluating while every record and
+    heartbeat is cut off for two minutes.  The cluster is healthy the
+    whole time — so every isolation during the blackout would destroy
+    good capacity.  Lease expiry must drive coverage below the degraded
+    threshold and suppress the (inevitable) hang verdicts; on heal, the
+    agents backfill their buffered records and detection resumes.
+    """
+    injector = FaultInjector(seed=seed)
+    victim = int(injector.pick_victims(list(range(8)), 1)[0])
+    plan = ControlPlanePlan(partition=(300.7, 420.7))
+    return ChaosScenario(
+        name=f"collector-partition[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.CONTROLPLANE,
+        job_nodes=8,
+        backup_nodes=2,
+        duration=duration,
+        faults=(_crash(60.3, victim),),
+        controlplane=plan,
+    )
+
+
+def agent_massacre_scenario(seed: int, duration: float = 900.0) -> ChaosScenario:
+    """Half the agents die; their nodes go dark while staying healthy.
+
+    Four of eight agents are killed for two hundred seconds — coverage
+    drops to 0.5 (below the 0.6 threshold) and the dark nodes look
+    exactly like crashed workers.  Degraded mode must hold fire for the
+    whole window; after the agents revive, a real crash on a node that
+    stayed covered must still be caught.
+    """
+    injector = FaultInjector(seed=seed)
+    massacred = tuple(int(v) for v in sorted(injector.pick_victims(list(range(8)), 4)))
+    survivors = [n for n in range(8) if n not in massacred]
+    victim = int(injector.pick_victims(survivors, 1)[0])
+    plan = ControlPlanePlan(
+        massacre_window=(200.3, 400.7), massacre_nodes=massacred
+    )
+    return ChaosScenario(
+        name=f"agent-massacre[s{seed}]",
+        seed=seed,
+        kind=ScenarioKind.CONTROLPLANE,
+        job_nodes=8,
+        backup_nodes=2,
+        duration=duration,
+        faults=(_crash(500.3, victim),),
+        controlplane=plan,
+    )
+
+
 def default_campaign(seed: int = 0) -> list[ChaosScenario]:
-    """The standard mixed campaign: node faults, recovery, and fabric faults."""
+    """The standard mixed campaign: node, recovery, fabric and master faults."""
     return [
         flapping_scenario(seed),
         flapping_scenario(seed + 1),
@@ -502,4 +667,8 @@ def default_campaign(seed: int = 0) -> list[ChaosScenario]:
         flapping_link_scenario(seed + 6),
         spine_maintenance_scenario(seed + 7),
         dual_plane_scenario(seed + 8),
+        master_kill_scenario(seed + 9),
+        failover_scenario(seed + 10),
+        collector_partition_scenario(seed + 11),
+        agent_massacre_scenario(seed + 12),
     ]

@@ -21,7 +21,7 @@ orchestrator's events).  The scorecard joins the two:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.chaos.scenario import ChaosScenario, Episode
@@ -101,6 +101,51 @@ class FabricMetrics:
 
 
 @dataclass(frozen=True)
+class ControlPlaneMetrics:
+    """Resilience judgment of one CONTROLPLANE scenario.
+
+    * ``replay_digest_match`` — the recovered master's state digest is
+      bit-identical to the digest captured at the instant of the kill
+      (vacuously true when no kill was scheduled);
+    * ``duplicate_actions`` — steering actions physically executed more
+      than once for the same fault key within the dedup window, across
+      every master incarnation (must be zero: recovery may re-derive an
+      action's bookkeeping but never re-execute it);
+    * ``stale_actions_executed`` — actions executed by a fenced-out
+      master after its successor claimed the journal (must be zero);
+    * ``fencing_rejections`` — writes a stale incarnation attempted and
+      had rejected (nonzero proves the fence was actually exercised in
+      failover scenarios);
+    * ``blackout_false_isolations`` — nodes isolated by actions executed
+      under degraded coverage that matched no active ground-truth
+      episode (the false-isolation storm a telemetry blackout must not
+      cause);
+    * ``recovery_seconds`` — master downtime: kill to the replacement
+      accepting writes;
+    * ``baseline_recall`` — episode recall of the identical scenario
+      with every control-plane fault disabled; the faulted run's recall
+      must not fall below it.
+    """
+
+    kills: int
+    recoveries: int
+    failovers: int
+    replay_digest_match: bool
+    replay_digest: str
+    entries_replayed: int
+    journal_entries: int
+    snapshots: int
+    recovery_seconds: Optional[float]
+    duplicate_actions: int
+    fencing_rejections: int
+    stale_actions_executed: int
+    blackout_false_isolations: int
+    coverage_min: float
+    backfilled_records: int
+    baseline_recall: float
+
+
+@dataclass(frozen=True)
 class ScenarioScorecard:
     """One scenario's score."""
 
@@ -130,6 +175,8 @@ class ScenarioScorecard:
     completed: bool = True
     #: FABRIC kind: traffic-engineering metrics (None otherwise).
     fabric: Optional[FabricMetrics] = None
+    #: CONTROLPLANE kind: resilience metrics (None otherwise).
+    controlplane: Optional[ControlPlaneMetrics] = None
 
     @property
     def precision(self) -> float:
@@ -330,6 +377,43 @@ def score_fabric_scenario(
         ),
         fabric=metrics,
     )
+
+
+def score_controlplane_scenario(
+    scenario: ChaosScenario,
+    actions: Sequence[SteeringAction],
+    resilience: ControlPlaneMetrics,
+    channel_stats: Optional[dict] = None,
+    steps_completed: int = 0,
+    relaunches: int = 0,
+    grace: float = DEFAULT_GRACE,
+) -> ScenarioScorecard:
+    """Judge one control-plane run: pipeline quality plus resilience.
+
+    The episode/action judgment reuses the pipeline scorer (the logical
+    action history spans every master incarnation — replay reconstructs
+    the pre-crash actions on the recovered master).  On top of it, the
+    scenario only passes (``completed``) when the resilience invariants
+    hold: the replayed digest matched, no action was executed twice, no
+    stale master executed anything, no blackout false isolation
+    happened, and recall did not fall below the fault-free baseline.
+    """
+    card = score_pipeline_scenario(
+        scenario,
+        actions,
+        channel_stats=channel_stats,
+        steps_completed=steps_completed,
+        relaunches=relaunches,
+        grace=grace,
+    )
+    completed = (
+        resilience.replay_digest_match
+        and resilience.duplicate_actions == 0
+        and resilience.stale_actions_executed == 0
+        and resilience.blackout_false_isolations == 0
+        and card.recall >= resilience.baseline_recall
+    )
+    return replace(card, completed=completed, controlplane=resilience)
 
 
 def score_recovery_scenario(

@@ -57,11 +57,18 @@ def _run_chaos(
     """Run the default chaos campaign and print/export the scorecard."""
     # Imported lazily: the chaos stack is not needed for 'list'/'run'.
     from repro.analysis.export import campaign_scorecard_to_dict, write_json
-    from repro.chaos import ChaosCampaign, default_campaign
+    from repro.chaos import ChaosCampaign, ScenarioKind, default_campaign
 
     started = perf_counter()
     scenarios = default_campaign(seed)
     if kind is not None:
+        valid = sorted(k.value for k in ScenarioKind)
+        if kind not in valid:
+            print(
+                f"unknown chaos kind {kind!r}; valid kinds: {', '.join(valid)}",
+                file=sys.stderr,
+            )
+            return 2
         scenarios = [s for s in scenarios if s.kind.value == kind]
     campaign = ChaosCampaign(scenarios=scenarios)
     print(f"--- chaos: {len(campaign.scenarios)} adversarial scenarios, seed {seed} ---")
@@ -78,6 +85,21 @@ def _run_chaos(
                 f"plane_violations={m.plane_violations} "
                 f"spine_imbalance={m.spine_imbalance:.2f} "
                 f"recovery={recovery} recovered_links={m.recovered_links}"
+            )
+            continue
+        if scenario.controlplane is not None:
+            m = scenario.controlplane
+            recovery = (
+                f"{m.recovery_seconds:.0f}s" if m.recovery_seconds is not None else "-"
+            )
+            print(
+                f"{scenario.name:24s} recall={scenario.recall:.2f} "
+                f"digest_match={m.replay_digest_match} "
+                f"duplicates={m.duplicate_actions} stale={m.stale_actions_executed} "
+                f"fenced={m.fencing_rejections} "
+                f"blackout_false_isolations={m.blackout_false_isolations} "
+                f"coverage_min={m.coverage_min:.2f} recovery={recovery} "
+                f"replayed={m.entries_replayed} backfilled={m.backfilled_records}"
             )
             continue
         mttr = ", ".join(f"{v:.0f}s" for v in scenario.mttr_values) or "-"
@@ -232,8 +254,8 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--kind",
         default=None,
-        choices=("pipeline", "recovery", "fabric"),
-        help="run only scenarios of one kind",
+        metavar="KIND",
+        help="run only scenarios of one kind (pipeline, recovery, fabric, controlplane)",
     )
     chaos_parser.add_argument(
         "--obs",

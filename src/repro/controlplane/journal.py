@@ -1,0 +1,199 @@
+"""Write-ahead journal + snapshots for the C4 control-plane masters.
+
+The masters (C4D, C4P, the central collector) are long-lived singletons
+whose in-memory state — delay-matrix windows, steering history, strike
+counts, allocation books, link-health machines — is exactly what a crash
+loses.  This module gives them a shared durability substrate:
+
+* **journal entries** are written *ahead* of the mutation they describe
+  (record ingestion) or immediately after an evaluation pass with its
+  executed outcomes, in a single total order per store;
+* **snapshots** capture the full serialized state at a journal position,
+  bounding replay work;
+* **fencing epochs** make the store single-writer: every append carries
+  the writer's epoch, and an epoch older than the store's current one is
+  rejected with :class:`FencedOut` — the mechanism that stops a stale or
+  zombie master from mutating state (or issuing actions) after a standby
+  took over.
+
+Recovery = restore the latest snapshot, replay the entries after it, and
+compare :func:`state_digest` against the pre-crash value.  Digests are
+SHA-256 over canonical JSON (sorted keys, no whitespace), so "identical
+state" is a checkable single string rather than a vibe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class FencedOut(RuntimeError):
+    """A writer with a stale epoch tried to mutate the journal.
+
+    Raised by :meth:`JournalStore.append` / :meth:`JournalStore.snapshot`
+    when the caller's epoch is older than the store's current epoch —
+    i.e. another master has since taken over.  The stale writer must
+    demote itself; it may never retry the write.
+    """
+
+
+def jsonable(value):
+    """Recursively convert tuples to lists (canonical JSON form)."""
+    if isinstance(value, (tuple, list)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: jsonable(item) for key, item in value.items()}
+    return value
+
+
+def state_digest(state: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a state dict."""
+    canonical = json.dumps(jsonable(state), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled mutation."""
+
+    seq: int
+    epoch: int
+    kind: str
+    payload: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "payload": jsonable(self.payload),
+        }
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Full serialized state at one journal position."""
+
+    #: Journal length when the snapshot was taken; replay starts at this
+    #: entry index.
+    seq: int
+    epoch: int
+    state: dict
+
+
+class JournalStore:
+    """In-memory journal + snapshot store with epoch fencing.
+
+    One store backs one logical master.  A production deployment would
+    put this on replicated disk; the simulation keeps it in memory — the
+    point is the *protocol* (write-ahead ordering, fencing, replay), not
+    the medium.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.entries: list[JournalEntry] = []
+        self.snapshots: list[Snapshot] = []
+        #: Current writer epoch; appends from older epochs are fenced.
+        self.epoch = 0
+        #: Next absolute sequence number (monotonic across compaction).
+        self._next_seq = 0
+        registry = get_registry(metrics)
+        self._m_entries = registry.counter(
+            "controlplane_journal_entries_total",
+            "Mutations appended to a control-plane journal",
+            labels=("kind",),
+        )
+        self._m_size = registry.gauge(
+            "controlplane_journal_size",
+            "Entries currently retained in a control-plane journal",
+        )
+        self._m_snapshots = registry.counter(
+            "controlplane_snapshots_total", "Control-plane state snapshots taken"
+        )
+        self._m_fenced = registry.counter(
+            "controlplane_fence_rejections_total",
+            "Writes rejected because the writer's epoch was stale",
+        )
+        self._m_epoch = registry.gauge(
+            "controlplane_epoch", "Current fencing epoch of the journal store"
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch management
+    # ------------------------------------------------------------------
+    def open_epoch(self) -> int:
+        """Claim writership: bump and return the fencing epoch.
+
+        Every master (initial start, restart, promoted standby) calls
+        this exactly once before its first write; all earlier epochs are
+        fenced from that moment on.
+        """
+        self.epoch += 1
+        self._m_epoch.set(self.epoch)
+        return self.epoch
+
+    def check_epoch(self, epoch: int) -> None:
+        """Raise :class:`FencedOut` when ``epoch`` is no longer current."""
+        if epoch != self.epoch:
+            raise FencedOut(
+                f"writer epoch {epoch} is stale (store is at epoch {self.epoch})"
+            )
+
+    def record_fence(self) -> None:
+        """Count one fenced-out write (called by the demoting writer)."""
+        self._m_fenced.inc()
+
+    # ------------------------------------------------------------------
+    # Journal / snapshot
+    # ------------------------------------------------------------------
+    def append(self, kind: str, payload: dict, epoch: int) -> JournalEntry:
+        """Append one mutation; the caller must hold the current epoch."""
+        self.check_epoch(epoch)
+        entry = JournalEntry(seq=self._next_seq, epoch=epoch, kind=kind, payload=payload)
+        self._next_seq += 1
+        self.entries.append(entry)
+        self._m_entries.labels(kind=kind).inc()
+        self._m_size.set(len(self.entries))
+        return entry
+
+    def snapshot(self, state: dict, epoch: int) -> Snapshot:
+        """Record a full-state snapshot at the current journal position."""
+        self.check_epoch(epoch)
+        snap = Snapshot(seq=self._next_seq, epoch=epoch, state=jsonable(state))
+        self.snapshots.append(snap)
+        self._m_snapshots.inc()
+        return snap
+
+    def latest_snapshot(self) -> Optional[Snapshot]:
+        """Most recent snapshot, or None before the first."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def entries_after(self, seq: int) -> list[JournalEntry]:
+        """Journal suffix from sequence number ``seq`` (inclusive).
+
+        Filtered by the entries' absolute sequence numbers, not list
+        position, so it stays correct after :meth:`compact`.
+        """
+        return [entry for entry in self.entries if entry.seq >= seq]
+
+    def compact(self) -> int:
+        """Drop journal entries already covered by the latest snapshot.
+
+        Entry indices are preserved by replacing the dropped prefix'
+        storage only conceptually: the journal keeps absolute sequence
+        numbers, so compaction just forgets the prefix.  Returns the
+        number of entries dropped.
+        """
+        snap = self.latest_snapshot()
+        if snap is None:
+            return 0
+        dropped = sum(1 for entry in self.entries if entry.seq < snap.seq)
+        if dropped:
+            self.entries = [entry for entry in self.entries if entry.seq >= snap.seq]
+            self._m_size.set(len(self.entries))
+        return dropped

@@ -168,6 +168,14 @@ class CommSlowDetector:
             threshold *= self.config.slow_hysteresis
         return threshold
 
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of the hysteresis state."""
+        return {"active": sorted(self._active)}
+
+    def restore_state(self, state: dict) -> None:
+        """Replace hysteresis state with a :meth:`snapshot_state` dict."""
+        self._active = set(state["active"])
+
     def evaluate(self, now: float) -> list[Anomaly]:
         """Analyze each communicator's recent transport records."""
         anomalies: list[Anomaly] = []

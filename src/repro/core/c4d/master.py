@@ -73,6 +73,7 @@ class C4DMaster:
         rca: Optional[RootCauseAnalyzer] = None,
         cooldown: float = 300.0,
         c4p=None,
+        degraded_coverage_threshold: float = 0.6,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
     ) -> None:
@@ -82,6 +83,14 @@ class C4DMaster:
         self.rca = rca
         self.c4p = c4p
         self.cooldown = cooldown
+        #: Below this telemetry coverage fraction the master is in
+        #: degraded mode: verdicts are recorded with scaled-down
+        #: confidence but not acted on (a blackout must cost detection
+        #: latency, not a false-isolation storm).
+        self.degraded_coverage_threshold = degraded_coverage_threshold
+        #: Fencing epoch stamped onto steering dispatches; bumped by the
+        #: control plane on every recovery/failover.
+        self.epoch = 0
         #: Optional :class:`~repro.obs.trace.FaultTracer`; fresh
         #: anomalies and steering actions are reported to it so fault
         #: spans get their ``detect``/``steer``/``recover`` stages.
@@ -93,6 +102,8 @@ class C4DMaster:
         ]
         self.anomalies: list[Anomaly] = []
         self.actions: list[SteeringAction] = []
+        #: Verdicts withheld because the master was in degraded mode.
+        self.degraded_anomalies: list[Anomaly] = []
         self._last_reported: dict[tuple, float] = {}
         #: Debounce state: anomaly key -> (consecutive count, eval index
         #: of the last sighting).
@@ -121,7 +132,7 @@ class C4DMaster:
         )
         self._m_suppressed = {
             gate: suppressed.labels(gate=gate)
-            for gate in ("debounce", "cooldown", "node_cooldown")
+            for gate in ("debounce", "cooldown", "node_cooldown", "degraded")
         }
         self._m_anomalies = registry.counter(
             "c4d_anomalies_total", "Fresh anomalies acted on", labels=("type",)
@@ -153,8 +164,24 @@ class C4DMaster:
             for node in nodes
         )
 
-    def evaluate(self, now: float) -> list[Anomaly]:
-        """Run all detectors; act on and return fresh anomalies."""
+    def evaluate(
+        self,
+        now: float,
+        coverage: Optional[float] = None,
+        blind_nodes=None,
+    ) -> list[Anomaly]:
+        """Run all detectors; act on and return fresh anomalies.
+
+        ``coverage`` (fraction of registered agents with live leases)
+        and ``blind_nodes`` (nodes whose leases expired) put the master
+        in degraded mode: when coverage drops below
+        ``degraded_coverage_threshold``, or every suspect of a verdict
+        is a blind node, the verdict is recorded in
+        ``degraded_anomalies`` with its confidence scaled to the
+        coverage but never dispatched to steering — silence from dead
+        agents is indistinguishable from a hang, and acting on it would
+        be a false-isolation storm.
+        """
         self._eval_index += 1
         self._m_evals.inc()
         fresh: list[Anomaly] = []
@@ -186,6 +213,29 @@ class C4DMaster:
         gated = [a for a in fresh if not self._node_in_cooldown(a, now)]
         self._m_suppressed["node_cooldown"].inc(len(fresh) - len(gated))
         fresh = gated
+        if coverage is not None or blind_nodes:
+            blind = set(blind_nodes or ())
+            low_coverage = (
+                coverage is not None and coverage < self.degraded_coverage_threshold
+            )
+            confident: list[Anomaly] = []
+            for anomaly in fresh:
+                nodes = anomaly.suspect_nodes
+                all_blind = bool(nodes) and bool(blind) and all(
+                    node in blind for node in nodes
+                )
+                if low_coverage or all_blind:
+                    # evidence is compare/hash-excluded, so annotating
+                    # in place is safe on the frozen dataclass.
+                    anomaly.evidence["confidence"] = (
+                        coverage if coverage is not None else 0.0
+                    )
+                    anomaly.evidence["degraded"] = True
+                    self.degraded_anomalies.append(anomaly)
+                    self._m_suppressed["degraded"].inc()
+                    continue
+                confident.append(anomaly)
+            fresh = confident
         for anomaly in fresh:
             self.anomalies.append(anomaly)
             self._m_anomalies.labels(type=anomaly.anomaly_type.value).inc()
@@ -206,7 +256,11 @@ class C4DMaster:
                 for node in anomaly.suspect_nodes:
                     self._node_last_action[node] = now
                 self._m_actions.inc()
-                action = self.steering.handle(anomaly, now)
+                action = self.steering.handle(anomaly, now, epoch=self.epoch)
+                if action is None:
+                    # Duplicate verdict (same fault key inside the
+                    # dedup window) — already executed, nothing to do.
+                    continue
                 self.actions.append(action)
                 if self.tracer is not None:
                     targets = set(action.isolated_nodes) | set(anomaly.suspect_nodes)
@@ -266,6 +320,75 @@ class C4DMaster:
                 )
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_payload(key: tuple) -> list:
+        anomaly_type, comm_id, suspects = key
+        return [anomaly_type.value, comm_id, [s.to_payload() for s in suspects]]
+
+    @staticmethod
+    def _key_from_payload(payload: list) -> tuple:
+        type_value, comm_id, suspects = payload
+        return (
+            AnomalyType(type_value),
+            comm_id,
+            tuple(Suspect.from_payload(s) for s in suspects),
+        )
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of the master's mutable detection state.
+
+        The fencing ``epoch`` is deliberately excluded: it identifies
+        *which incarnation* holds the state, not the state itself, so a
+        recovered master with a bumped epoch still digests identically.
+        """
+        return {
+            "anomalies": [a.to_payload() for a in self.anomalies],
+            "actions": [a.to_payload() for a in self.actions],
+            "degraded_anomalies": [a.to_payload() for a in self.degraded_anomalies],
+            "last_reported": sorted(
+                ([self._key_payload(key), t] for key, t in self._last_reported.items()),
+                key=repr,
+            ),
+            "pending": sorted(
+                (
+                    [self._key_payload(key), [count, last_eval]]
+                    for key, (count, last_eval) in self._pending.items()
+                ),
+                key=repr,
+            ),
+            "eval_index": self._eval_index,
+            "node_last_action": sorted(self._node_last_action.items()),
+            "detectors": {
+                detector.name: detector.snapshot_state()
+                for detector in self.detectors
+                if hasattr(detector, "snapshot_state")
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace mutable state with a :meth:`snapshot_state` dict."""
+        self.anomalies = [Anomaly.from_payload(p) for p in state["anomalies"]]
+        self.actions = [SteeringAction.from_payload(p) for p in state["actions"]]
+        self.degraded_anomalies = [
+            Anomaly.from_payload(p) for p in state["degraded_anomalies"]
+        ]
+        self._last_reported = {
+            self._key_from_payload(key): t for key, t in state["last_reported"]
+        }
+        self._pending = {
+            self._key_from_payload(key): (count, last_eval)
+            for key, (count, last_eval) in state["pending"]
+        }
+        self._eval_index = state["eval_index"]
+        self._node_last_action = {node: t for node, t in state["node_last_action"]}
+        for detector in self.detectors:
+            snapshot = state["detectors"].get(getattr(detector, "name", ""))
+            if snapshot is not None and hasattr(detector, "restore_state"):
+                detector.restore_state(snapshot)
 
     def attach_to(self, network, interval: float = 10.0, until: Optional[float] = None) -> None:
         """Schedule periodic evaluation on a simulation event loop.

@@ -124,6 +124,48 @@ class SteeringAction:
     #: Nodes whose isolation failed every attempt (still in the job).
     failed_isolations: tuple[int, ...] = ()
 
+    def to_payload(self) -> dict:
+        """JSON-safe form for journaling/snapshotting."""
+        return {
+            "anomaly": self.anomaly.to_payload(),
+            "isolated_nodes": list(self.isolated_nodes),
+            "replacement_nodes": list(self.replacement_nodes),
+            "ready_at": self.ready_at,
+            "pool_exhausted": self.pool_exhausted,
+            "attempts": self.attempts,
+            "backoff_seconds": self.backoff_seconds,
+            "doa_replacements": list(self.doa_replacements),
+            "failed_isolations": list(self.failed_isolations),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SteeringAction":
+        """Rebuild an action from its :meth:`to_payload` form."""
+        return cls(
+            anomaly=Anomaly.from_payload(payload["anomaly"]),
+            isolated_nodes=tuple(payload["isolated_nodes"]),
+            replacement_nodes=tuple(payload["replacement_nodes"]),
+            ready_at=payload["ready_at"],
+            pool_exhausted=payload["pool_exhausted"],
+            attempts=payload["attempts"],
+            backoff_seconds=payload["backoff_seconds"],
+            doa_replacements=tuple(payload["doa_replacements"]),
+            failed_isolations=tuple(payload["failed_isolations"]),
+        )
+
+
+def fault_key(anomaly: Anomaly) -> tuple:
+    """Stable identity of the physical fault behind an anomaly.
+
+    Two verdicts implicating the same node set (or, node-less, the same
+    communicator) describe the same fault — a restarted or replayed
+    master re-deriving the verdict must not re-execute it.
+    """
+    nodes = tuple(sorted(anomaly.suspect_nodes))
+    if nodes:
+        return (anomaly.anomaly_type.value, nodes)
+    return ("comm", anomaly.comm_id)
+
 
 class JobSteeringService:
     """Automated isolate-and-restart driven by C4D anomalies.
@@ -139,6 +181,11 @@ class JobSteeringService:
     faults:
         Optional failure injection for the steering actions themselves
         (chaos campaigns); ``None`` gives the happy path.
+    dedup_window:
+        Seconds during which a second verdict for the same fault key is
+        treated as a duplicate and suppressed, whatever its epoch — a
+        restarted master re-deriving an already-executed verdict must
+        not re-isolate.
     """
 
     def __init__(
@@ -147,13 +194,34 @@ class JobSteeringService:
         backup_nodes: list[int],
         config: Optional[SteeringConfig] = None,
         faults: Optional[SteeringFaultModel] = None,
+        dedup_window: float = 900.0,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.topology = topology
         self.backup_pool: list[int] = list(backup_nodes)
         self.config = config or SteeringConfig()
         self.faults = faults
+        self.dedup_window = dedup_window
+        #: Logical action history: every action this service decided,
+        #: including ones reconstructed from a journal during replay.
+        #: Part of the recovery state digest.
         self.actions: list[SteeringAction] = []
+        #: Actions physically executed by *this process* (topology
+        #: mutations actually performed).  Never rebuilt by replay;
+        #: excluded from the digest — this is what campaign runners
+        #: score and react to.
+        self.executed_actions: list[SteeringAction] = []
+        #: ``(fault_key, epoch)`` per executed action, for duplicate
+        #: accounting across restarts.
+        self.executed_log: list[tuple[tuple, int]] = []
+        #: fault_key -> (epoch, executed_at, action) for executed
+        #: verdicts still inside the dedup window.
+        self._executed: dict[tuple, tuple[int, float, SteeringAction]] = {}
+        #: Verdicts suppressed as duplicates.
+        self.dedup_hits: int = 0
+        #: Replay mode: queued reconstructed actions applied as pure
+        #: bookkeeping (no topology/RNG side effects).
+        self._replay_queue: Optional[list[SteeringAction]] = None
         #: Every node this service ever isolated (for return_to_pool
         #: validation and idempotency).
         self._isolated: set[int] = set()
@@ -224,8 +292,51 @@ class JobSteeringService:
             return candidate, doa
         return None, doa
 
-    def handle(self, anomaly: Anomaly, now: float) -> SteeringAction:
+    # ------------------------------------------------------------------
+    # Journal replay (control-plane recovery)
+    # ------------------------------------------------------------------
+    def begin_replay(self, actions: list[SteeringAction]) -> None:
+        """Enter replay mode with the journaled actions still to re-apply.
+
+        While replaying, :meth:`handle` pops the next queued action and
+        applies *bookkeeping only* — pool/idempotency state — without
+        touching the topology or any RNG: the physical side effects
+        already happened before the crash.
+        """
+        self._replay_queue = list(actions)
+
+    def end_replay(self) -> None:
+        """Leave replay mode (queue must be fully consumed)."""
+        leftover = self._replay_queue
+        self._replay_queue = None
+        if leftover:
+            raise RuntimeError(
+                f"{len(leftover)} journaled steering action(s) were never "
+                "re-derived during replay; journal and detector state disagree"
+            )
+
+    def _apply_replayed(
+        self, action: SteeringAction, now: float, epoch: int
+    ) -> SteeringAction:
+        """Bookkeeping for a journaled action: no topology/RNG effects."""
+        drawn = set(action.replacement_nodes) | set(action.doa_replacements)
+        self.backup_pool = [n for n in self.backup_pool if n not in drawn]
+        self._isolated.update(action.isolated_nodes)
+        self._isolated.update(action.doa_replacements)
+        self.actions.append(action)
+        self._executed[fault_key(action.anomaly)] = (epoch, now, action)
+        self._m_pool.set(len(self.backup_pool))
+        return action
+
+    def handle(
+        self, anomaly: Anomaly, now: float, epoch: int = 0
+    ) -> Optional[SteeringAction]:
         """Isolate the anomaly's suspect nodes and schedule the restart.
+
+        Returns ``None`` when the verdict is a duplicate: a verdict for
+        the same fault key already executed inside ``dedup_window``
+        seconds is suppressed *regardless of epoch*, so a restarted
+        (higher-epoch) or replayed master cannot re-issue it.
 
         Nodes already isolated are skipped (idempotent under repeated
         detections).  Isolation attempts may fail and are retried with
@@ -234,6 +345,25 @@ class JobSteeringService:
         action carries ``pool_exhausted=True`` and the job restarts on
         its remaining healthy nodes (shrunk world size).
         """
+        key = fault_key(anomaly)
+        executed = self._executed.get(key)
+        if executed is not None:
+            _epoch, executed_at, _action = executed
+            if now - executed_at < self.dedup_window:
+                self.dedup_hits += 1
+                logger.info(
+                    "suppressing duplicate verdict for fault %s "
+                    "(executed at t=%.1f, epoch %d)",
+                    key,
+                    executed_at,
+                    _epoch,
+                )
+                return None
+            del self._executed[key]
+        if self._replay_queue is not None:
+            if not self._replay_queue:
+                return None
+            return self._apply_replayed(self._replay_queue.pop(0), now, epoch)
         to_isolate = [
             node_id
             for node_id in anomaly.suspect_nodes
@@ -283,6 +413,9 @@ class JobSteeringService:
             failed_isolations=tuple(failed),
         )
         self.actions.append(action)
+        self.executed_actions.append(action)
+        self.executed_log.append((key, epoch))
+        self._executed[key] = (epoch, now, action)
         self._m_actions.inc()
         self._m_isolated.inc(len(isolated))
         self._m_retries.inc(max(0, total_attempts - len(to_isolate)))
@@ -292,6 +425,57 @@ class JobSteeringService:
         self._m_backoff.observe(total_backoff)
         self._m_pool.set(len(self.backup_pool))
         return action
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_payload(key: tuple) -> list:
+        kind, detail = key
+        return [kind, list(detail) if isinstance(detail, tuple) else detail]
+
+    @staticmethod
+    def _key_from_payload(payload: list) -> tuple:
+        kind, detail = payload
+        return (kind, tuple(detail) if isinstance(detail, list) else detail)
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of the service's logical state.
+
+        ``executed_actions``/``executed_log`` are deliberately absent:
+        they describe what *this process* physically did and must not be
+        resurrected into a recovered instance.
+        """
+        return {
+            "backup_pool": list(self.backup_pool),
+            "isolated": sorted(self._isolated),
+            "actions": [a.to_payload() for a in self.actions],
+            "executed": [
+                [self._key_payload(key), epoch, executed_at, action.to_payload()]
+                for key, (epoch, executed_at, action) in sorted(
+                    self._executed.items(), key=lambda item: repr(item[0])
+                )
+            ],
+            "dedup_window": self.dedup_window,
+            "dedup_hits": self.dedup_hits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace logical state with a :meth:`snapshot_state` dict."""
+        self.backup_pool = list(state["backup_pool"])
+        self._isolated = set(state["isolated"])
+        self.actions = [SteeringAction.from_payload(p) for p in state["actions"]]
+        self._executed = {
+            self._key_from_payload(key): (
+                epoch,
+                executed_at,
+                SteeringAction.from_payload(action),
+            )
+            for key, epoch, executed_at, action in state["executed"]
+        }
+        self.dedup_window = state["dedup_window"]
+        self.dedup_hits = state["dedup_hits"]
+        self._m_pool.set(len(self.backup_pool))
 
     def return_to_pool(self, node_id: int) -> bool:
         """Return a repaired node to the backup pool.

@@ -133,6 +133,40 @@ class LinkHealthTracker:
         ]
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot: link-id tuples become nested lists."""
+        return {
+            "state": sorted(
+                ([list(link), state.value] for link, state in self._state.items()),
+                key=repr,
+            ),
+            "failures": sorted(
+                ([list(link), list(times)] for link, times in self._failures.items()),
+                key=repr,
+            ),
+            "quarantined_until": sorted(
+                ([list(link), t] for link, t in self._quarantined_until.items()),
+                key=repr,
+            ),
+            "streak": sorted(
+                ([list(link), n] for link, n in self._streak.items()), key=repr
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the state machine with a :meth:`snapshot_state` dict."""
+        self._state = {
+            tuple(link): LinkHealthState(value) for link, value in state["state"]
+        }
+        self._failures = {tuple(link): list(times) for link, times in state["failures"]}
+        self._quarantined_until = {
+            tuple(link): t for link, t in state["quarantined_until"]
+        }
+        self._streak = {tuple(link): n for link, n in state["streak"]}
+
+    # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------
     def record_failure(self, link_id: tuple, now: float) -> float:

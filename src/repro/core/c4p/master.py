@@ -31,6 +31,7 @@ pieces:
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -104,6 +105,12 @@ class C4PMaster:
     link_strike_threshold:
         Distinct connection anomalies (C4D single-cell findings) that
         must implicate a link before the master quarantines it.
+    refresh_on_init:
+        Probe the fabric and rebuild the dead-link catalog during
+        construction (the normal start-up).  Control-plane recovery
+        passes False: the catalog is restored from a snapshot instead,
+        and a live probe would observe the *current* fabric rather than
+        the journaled one.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class C4PMaster:
         search_ports: bool | None = None,
         health_config: Optional[LinkHealthConfig] = None,
         link_strike_threshold: int = 2,
+        refresh_on_init: bool = True,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.topology = topology
@@ -143,7 +151,15 @@ class C4PMaster:
         self.migration_listener: Optional[
             Callable[[PathRequest, QpAllocation], None]
         ] = None
-        self._synthetic_port = itertools.count(49152)
+        #: Synthetic-port counter; a plain int so snapshots capture it.
+        self._synthetic_port = 0
+        #: QP numbers to hand out before consulting the global counter —
+        #: loaded by control-plane replay so recovered allocations keep
+        #: their journaled identities.
+        self._qp_num_override: deque[int] = deque()
+        #: Probe outcomes of the most recent maintenance pass (link id →
+        #: healthy), for control-plane journaling.
+        self.last_probe_results: dict[tuple, bool] = {}
         self._m_allocations = obs_registry.counter(
             "c4p_allocations_total", "QP routes allocated for tenant connections"
         )
@@ -174,7 +190,8 @@ class C4PMaster:
             "c4p_connection_strikes_total",
             "C4D connection anomalies folded into link strike counts",
         )
-        self.refresh_catalog()
+        if refresh_on_init:
+            self.refresh_catalog()
 
     # ------------------------------------------------------------------
     # Start-up / maintenance probing
@@ -250,7 +267,11 @@ class C4PMaster:
             link_id=link_id, migrated=tuple(migrated), stranded=tuple(stranded)
         )
 
-    def maintenance(self, now: Optional[float] = None) -> MaintenanceReport:
+    def maintenance(
+        self,
+        now: Optional[float] = None,
+        probe_results: Optional[dict[tuple, bool]] = None,
+    ) -> MaintenanceReport:
         """One incremental re-probe pass: catch silent failures, readmit healed links.
 
         * every link currently carrying allocations is re-probed; a
@@ -258,6 +279,10 @@ class C4PMaster:
           notification (quarantine + drain);
         * every dead link is re-probed through the health state machine;
           links that pass probation are returned to the allocation pool.
+
+        ``probe_results`` (link id → healthy) overrides the live probes;
+        control-plane replay passes the journaled outcomes so recovery
+        re-derives the pass without touching the current fabric.
         """
         if now is None:
             now = self.topology.network.now
@@ -265,19 +290,27 @@ class C4PMaster:
         recovered: list[tuple] = []
         drains: list[DrainReport] = []
 
-        active = [
+        def probe(links: list[tuple]) -> dict[tuple, bool]:
+            if probe_results is not None:
+                return {link: probe_results.get(link, True) for link in links}
+            return self.prober.reprobe(links)
+
+        active = sorted(
             link
             for link, qps in self._link_qps.items()
             if qps and self.registry.is_usable(link)
-        ]
-        for link, healthy in self.prober.reprobe(active).items():
+        )
+        self.last_probe_results = dict(probe(active))
+        for link, healthy in self.last_probe_results.items():
             if healthy:
                 continue
             newly_dead.append(link)
             drains.append(self.notify_link_failure(link, now))
 
         dead = sorted(self.registry.dead_links)
-        for link, healthy in self.prober.reprobe(dead).items():
+        dead_results = probe(dead)
+        self.last_probe_results.update(dead_results)
+        for link, healthy in dead_results.items():
             state = self.health.record_probe(link, now, healthy)
             if state is LinkHealthState.HEALTHY:
                 self.registry.mark_alive(link)
@@ -377,7 +410,7 @@ class C4PMaster:
                 request.src_node, request.src_nic, request.dst_node, request.dst_nic, choice
             )
             alloc = QpAllocation(
-                qp_num=next(_qp_counter),
+                qp_num=self._next_qp_num(),
                 src_port=src_port,
                 five_tuple=five_tuple,
                 choice=choice,
@@ -465,6 +498,106 @@ class C4PMaster:
                 if not qps:
                     del self._link_qps[link]
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_payload(record: AllocationRecord) -> dict:
+        req = record.request
+        alloc = record.alloc
+        ft = alloc.five_tuple
+        return {
+            "rail": record.rail,
+            "request": {
+                "comm_id": req.comm_id,
+                "job_id": req.job_id,
+                "src_node": req.src_node,
+                "src_nic": req.src_nic,
+                "dst_node": req.dst_node,
+                "dst_nic": req.dst_nic,
+                "num_qps": req.num_qps,
+            },
+            "alloc": {
+                "qp_num": alloc.qp_num,
+                "src_port": alloc.src_port,
+                "five_tuple": [ft.src_ip, ft.dst_ip, ft.src_port, ft.dst_port, ft.protocol],
+                "choice": [
+                    alloc.choice.src_side,
+                    alloc.choice.spine,
+                    alloc.choice.up_port,
+                    alloc.choice.dst_side,
+                    alloc.choice.down_port,
+                ],
+                "path": [list(link) for link in alloc.path],
+                "weight": alloc.weight,
+            },
+        }
+
+    @staticmethod
+    def _record_from_payload(payload: dict) -> AllocationRecord:
+        alloc = payload["alloc"]
+        src_ip, dst_ip, src_port, dst_port, protocol = alloc["five_tuple"]
+        return AllocationRecord(
+            rail=payload["rail"],
+            request=PathRequest(**payload["request"]),
+            alloc=QpAllocation(
+                qp_num=alloc["qp_num"],
+                src_port=alloc["src_port"],
+                five_tuple=FiveTuple(
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    protocol=protocol,
+                ),
+                choice=PathChoice(*alloc["choice"]),
+                path=[tuple(link) for link in alloc["path"]],
+                weight=alloc["weight"],
+            ),
+        )
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of all mutable traffic-engineering state."""
+        return {
+            "registry": self.registry.snapshot_state(),
+            "health": self.health.snapshot_state(),
+            "allocated": [
+                self._record_payload(record)
+                for _qp, record in sorted(self._allocated.items())
+            ],
+            "link_strikes": sorted(
+                (
+                    [
+                        list(link),
+                        sorted([[list(src), list(dst)] for src, dst in conns], key=repr),
+                    ]
+                    for link, conns in self._link_strikes.items()
+                ),
+                key=repr,
+            ),
+            "synthetic_port": self._synthetic_port,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace mutable state with a :meth:`snapshot_state` dict.
+
+        The reverse index (link → QPs) is derived state and is rebuilt
+        from the restored allocation table.
+        """
+        self.registry.restore_state(state["registry"])
+        self.health.restore_state(state["health"])
+        self._allocated = {}
+        self._link_qps = {}
+        for payload in state["allocated"]:
+            record = self._record_from_payload(payload)
+            self._allocated[record.alloc.qp_num] = record
+            self._index(record)
+        self._link_strikes = {
+            tuple(link): {(tuple(src), tuple(dst)) for src, dst in conns}
+            for link, conns in state["link_strikes"]
+        }
+        self._synthetic_port = state["synthetic_port"]
+
     def qps_on_link(self, link_id: tuple) -> tuple[int, ...]:
         """QP numbers currently routed over one fabric link."""
         return tuple(sorted(self._link_qps.get(link_id, ())))
@@ -480,9 +613,19 @@ class C4PMaster:
         """Live allocations in the table (for invariant checks)."""
         return len(self._allocated)
 
+    def _next_synthetic_port(self) -> int:
+        port = 49152 + self._synthetic_port % 16384
+        self._synthetic_port += 1
+        return port
+
+    def _next_qp_num(self) -> int:
+        if self._qp_num_override:
+            return self._qp_num_override.popleft()
+        return next(_qp_counter)
+
     def _source_port(self, src_ip: str, dst_ip: str, rail: int, choice: PathChoice) -> int:
         if not self.search_ports:
-            return 49152 + next(self._synthetic_port) % 16384
+            return self._next_synthetic_port()
         try:
             return self.prober.find_source_port(src_ip, dst_ip, rail, choice)
         except LookupError:
@@ -491,4 +634,4 @@ class C4PMaster:
             # Production would pick the nearest catalogued route; the
             # simulation keeps the planned route and stamps a synthetic
             # port.
-            return 49152 + next(self._synthetic_port) % 16384
+            return self._next_synthetic_port()

@@ -10,7 +10,6 @@ port's physical plane.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from repro.cluster.topology import ClusterTopology, PathChoice
@@ -38,7 +37,9 @@ class PathRegistry:
         self.link_load: dict[tuple, int] = {}
         #: Links the prober (or failure notifications) declared dead.
         self.dead_links: set[tuple] = set()
-        self._rr = itertools.count()
+        #: Round-robin tie-break offset; a plain int (not itertools.count)
+        #: so control-plane snapshots can capture and restore it.
+        self._rr = 0
         registry = get_registry(metrics)
         self._m_acquired = registry.counter(
             "c4p_routes_acquired_total", "Routes handed out by the path registry"
@@ -98,7 +99,8 @@ class PathRegistry:
             dst_side = src_side
         spec = self.topology.spec
         topo = self.topology
-        offset = next(self._rr)
+        offset = self._rr
+        self._rr += 1
 
         ups = [
             (spine, k)
@@ -181,6 +183,29 @@ class PathRegistry:
             self.topology.leaf_up(rail, choice.src_side, choice.spine, choice.up_port),
             self.topology.spine_down(rail, choice.spine, choice.dst_side, choice.down_port),
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot: link-id tuples become nested lists."""
+        return {
+            "link_load": sorted(
+                ([list(link), load] for link, load in self.link_load.items()),
+                key=repr,
+            ),
+            "dead_links": sorted([list(link) for link in self.dead_links], key=repr),
+            "rr": self._rr,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace bookkeeping with a :meth:`snapshot_state` dict."""
+        self.link_load = {tuple(link): load for link, load in state["link_load"]}
+        self.dead_links = {tuple(link) for link in state["dead_links"]}
+        self._rr = state["rr"]
+        self._m_dead.set(len(self.dead_links))
+        for link, load in self.link_load.items():
+            self._m_link_load.labels(link=link).set(load)
 
     def _count(self, rail: int, choice: PathChoice, delta: int) -> None:
         for link in self.links_of(rail, choice):

@@ -20,7 +20,7 @@ Design:
   declares the node types it is interested in and whether it applies
   only to *sim-path* packages (the packages whose code runs under the
   simulated clock: ``netsim``, ``core``, ``chaos``, ``collective``,
-  ``telemetry``);
+  ``telemetry``, ``controlplane``);
 * intentional exceptions are suppressed inline with
   ``# repro: noqa[RULE]`` (or ``# repro: noqa[RULE1,RULE2]``, or a bare
   ``# repro: noqa`` suppressing every rule on that line); suppressed
@@ -43,7 +43,9 @@ from typing import Iterable, Iterator, Optional, Sequence, Type
 #: Packages whose code runs under the simulated clock; SIM rules apply
 #: only to files whose path contains one of these as a component under
 #: ``repro``.
-SIM_PATH_PACKAGES = frozenset({"netsim", "core", "chaos", "collective", "telemetry"})
+SIM_PATH_PACKAGES = frozenset(
+    {"netsim", "core", "chaos", "collective", "telemetry", "controlplane"}
+)
 
 #: Inline suppression directive: ``# repro: noqa`` or
 #: ``# repro: noqa[SIM001]`` or ``# repro: noqa[SIM001,OBS001]``.

@@ -250,6 +250,10 @@ def _scenario_factories() -> dict[str, Callable[[int], object]]:
         "flapping-link": scenarios.flapping_link_scenario,
         "spine-maintenance": scenarios.spine_maintenance_scenario,
         "dual-plane": scenarios.dual_plane_scenario,
+        "master-kill": scenarios.master_kill_scenario,
+        "failover": scenarios.failover_scenario,
+        "collector-partition": scenarios.collector_partition_scenario,
+        "agent-massacre": scenarios.agent_massacre_scenario,
     }
 
 

@@ -19,6 +19,11 @@ SIM004    no iteration over set-typed expressions in sim-path code
 SIM005    event callbacks must not re-enter the event loop
           (``.run()``/``.run_until()``/``.pop_due()`` inside a nested
           callback ``def``) — schedule follow-up timers instead
+SIM006    control-plane master state (``self.master.*``,
+          ``self.collector.*`` ... in ``repro.controlplane`` files) may
+          only be written inside the journaled mutation path
+          (``__init__``/``_build*``/``recover*``/``_replay*``/
+          ``restore*``) — ad-hoc writes desynchronise replay
 OBS001    metrics must be registered (``registry.counter/gauge/
           histogram``) at module/``__init__`` scope, not inside loops
 ========  ==============================================================
@@ -30,6 +35,7 @@ Rules are registered on import; the engine pulls them in through
 from __future__ import annotations
 
 import ast
+from pathlib import PurePath
 from typing import Iterator, Optional, Sequence
 
 from repro.lint.engine import FileContext, Rule, register
@@ -326,6 +332,94 @@ class ReentrantRunRule(Rule):
                 "event loop re-entrantly; schedule follow-up work with "
                 "schedule()/schedule_at() instead",
             )
+
+
+# ----------------------------------------------------------------------
+# SIM006 — journaled mutation path for control-plane master state
+# ----------------------------------------------------------------------
+#: Handles of the journal-managed detection stack: every durable mutation
+#: of these objects must go through a journaled ingestion/evaluate method
+#: so crash-replay reproduces it.  Writing through them anywhere else
+#: silently diverges the recovered state from the journal.
+_JOURNALED_HANDLES = frozenset({"collector", "master", "steering", "leases", "store"})
+
+#: Method-name shapes allowed to write managed state directly: object
+#: construction and the replay/restore path itself (which rebuilds state
+#: *from* the journal rather than around it).
+_JOURNALED_WRITER_PREFIXES = ("_build", "_apply", "_replay", "_restore", "restore", "recover")
+
+
+def _innermost_function(ancestors: Sequence[ast.AST]) -> Optional[str]:
+    """Name of the nearest enclosing def/async def, else None."""
+    for ancestor in reversed(ancestors):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor.name
+    return None
+
+
+def _managed_write_target(target: ast.AST) -> Optional[str]:
+    """The dotted path when ``target`` writes through a managed handle.
+
+    Matches ``self.<handle>.<attr>`` and deeper, seeing through
+    subscripts (``self.master.pending[k] = ...``,
+    ``self.collector.progress[c].min_seq += 1``); plain
+    ``self.<handle> = ...`` rebinding is construction, not state
+    mutation, and does not match.
+    """
+    parts: list[str] = []
+    node = target
+    while True:
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        else:
+            break
+    if not (isinstance(node, ast.Name) and node.id == "self"):
+        return None
+    parts.reverse()
+    if len(parts) >= 2 and parts[0] in _JOURNALED_HANDLES:
+        return ".".join(["self", *parts])
+    return None
+
+
+@register
+class JournaledMutationRule(Rule):
+    rule_id = "SIM006"
+    summary = "control-plane master state must be written via the journaled mutation path"
+    interests = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+    sim_path_only = True
+
+    def visit(
+        self, node: ast.AST, ancestors: Sequence[ast.AST], ctx: FileContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        # Only the control-plane package hosts journal-managed classes.
+        if "controlplane" not in PurePath(ctx.path).parts:
+            return
+        writer = _innermost_function(ancestors)
+        if writer is not None and (
+            writer == "__init__" or writer.startswith(_JOURNALED_WRITER_PREFIXES)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            targets: list[ast.AST] = []
+            for t in node.targets:
+                targets.extend(t.elts if isinstance(t, ast.Tuple) else [t])
+        elif isinstance(node, ast.AnnAssign) and node.value is None:
+            return  # bare annotation: a declaration, not a write
+        else:
+            targets = [node.target]
+        for target in targets:
+            name = _managed_write_target(target)
+            if name is not None:
+                yield (
+                    node,
+                    f"direct write to managed state {name!r} outside the journaled "
+                    "mutation path; route it through a journaled ingestion/evaluate "
+                    "method (or a _replay*/_build*/recover* writer) so crash-replay "
+                    "reproduces it",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -90,6 +90,16 @@ class AgentPlane:
     :class:`~repro.telemetry.unreliable.UnreliableChannel`) routes every
     forward through a lossy transport that drops, delays, and duplicates
     records — the chaos harness's partial-observability model.
+
+    Passing ``leases`` (a
+    :class:`~repro.controlplane.lease.LeaseTable`) makes every delivery
+    double as a heartbeat: the producing node's lease is renewed, so the
+    master's coverage view tracks which agents it is actually hearing
+    from.  :meth:`suspend` / :meth:`resume` model master downtime —
+    records buffer locally and are backfilled on resume — and
+    :meth:`kill_agent` / :meth:`revive_agent` model dead agents whose
+    records are dropped outright (their leases then expire, which is the
+    blackout signal the degraded-mode gate consumes).
     """
 
     def __init__(
@@ -99,6 +109,7 @@ class AgentPlane:
         network=None,
         flush_interval: float | None = None,
         channel=None,
+        leases=None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if flush_interval is not None:
@@ -113,7 +124,16 @@ class AgentPlane:
         self.network = network
         self.flush_interval = flush_interval
         self.channel = channel
+        self.leases = leases
         self._flush_armed = False
+        #: True while the master is down: records buffer locally.
+        self.suspended = False
+        #: Communicator registrations held back during a suspension.
+        self._pending_comms: list[tuple[CommunicatorRecord, float]] = []
+        #: Nodes whose agent process is dead — their records vanish.
+        self._dead_agents: set[int] = set()
+        self.records_dropped = 0
+        self.backfilled_records = 0
         registry = get_registry(metrics)
         self._m_forwarded = registry.counter(
             "telemetry_agent_records_forwarded_total",
@@ -126,6 +146,14 @@ class AgentPlane:
         self._m_buffered = registry.gauge(
             "telemetry_agent_buffered_records",
             "Records currently waiting in agent buffers",
+        )
+        self._m_dropped = registry.counter(
+            "telemetry_agent_records_dropped_total",
+            "Records lost because the producing node's agent was dead",
+        )
+        self._m_backfilled = registry.counter(
+            "telemetry_agent_backfilled_records_total",
+            "Records backfilled to the master after a suspension ended",
         )
         #: Optional callable returning simulated time, used to timestamp
         #: communicator registration.
@@ -149,8 +177,24 @@ class AgentPlane:
         self._m_buffered.set(0)
         return flushed
 
+    def _beat(self, node_id: int) -> None:
+        if self.leases is not None and node_id not in self._dead_agents:
+            self.leases.heartbeat(node_id, self._clock())
+
     def _deliver(self, node_id: int, kind: str, record) -> None:
+        if node_id in self._dead_agents:
+            self.records_dropped += 1
+            self._m_dropped.inc()
+            return
         agent = self.agent(node_id)
+        if self.suspended:
+            # Master downtime: hold the record locally regardless of
+            # mode; resume() backfills it.  No heartbeat either — a
+            # dead/unreachable master hears nothing.
+            agent.enqueue(kind, record)
+            self._m_buffered.inc()
+            return
+        self._beat(node_id)
         if not self.buffered:
             if kind == "op":
                 agent.forward_op(record)
@@ -189,10 +233,80 @@ class AgentPlane:
         return agent
 
     # ------------------------------------------------------------------
+    # Master-downtime lifecycle
+    # ------------------------------------------------------------------
+    def suspend(self) -> None:
+        """Enter master-downtime mode: records buffer instead of shipping."""
+        self.suspended = True
+
+    def resume(self, now: float) -> int:
+        """End a suspension: heartbeat live agents and backfill buffers.
+
+        Returns the number of records backfilled to the master.  Agents
+        re-register implicitly — the lease table treats a heartbeat from
+        an unknown node as registration, so no handshake with the new
+        master incarnation is needed.
+        """
+        self.suspended = False
+        if self.leases is not None:
+            for node_id in sorted(self.agents):
+                if node_id not in self._dead_agents:
+                    self.leases.heartbeat(node_id, now)
+        backfilled = 0
+        for record, registered_at in self._pending_comms:
+            self.collector.ingest_communicator(record, now=registered_at)
+            backfilled += 1
+        self._pending_comms.clear()
+        backfilled += self.flush_all()
+        self.backfilled_records += backfilled
+        self._m_backfilled.inc(backfilled)
+        return backfilled
+
+    def beat_all(self, now: float) -> int:
+        """Heartbeat every live agent (the periodic keep-alive timer).
+
+        A no-op returning 0 while suspended — a dead master hears no
+        heartbeats, which is exactly how coverage decays during an
+        outage.
+        """
+        if self.suspended or self.leases is None:
+            return 0
+        beaten = 0
+        for node_id in sorted(self.agents):
+            if node_id not in self._dead_agents:
+                self.leases.heartbeat(node_id, now)
+                beaten += 1
+        return beaten
+
+    def kill_agent(self, node_id: int) -> None:
+        """Kill one node's agent: its records vanish, its lease decays."""
+        self._dead_agents.add(node_id)
+        agent = self.agents.get(node_id)
+        if agent is not None and agent.buffer:
+            self.records_dropped += len(agent.buffer)
+            self._m_dropped.inc(len(agent.buffer))
+            agent.buffer.clear()
+
+    def revive_agent(self, node_id: int, now: float) -> None:
+        """Restart a dead agent; it re-registers via its first heartbeat."""
+        self._dead_agents.discard(node_id)
+        if self.leases is not None:
+            self.leases.heartbeat(node_id, now)
+
+    def retarget(self, collector) -> None:
+        """Point the plane (and every agent) at a new master incarnation."""
+        self.collector = collector
+        for agent in self.agents.values():
+            agent.collector = collector
+
+    # ------------------------------------------------------------------
     # MonitoringSink interface
     # ------------------------------------------------------------------
     def on_communicator(self, record: CommunicatorRecord) -> None:
         """Register the communicator with the master."""
+        if self.suspended:
+            self._pending_comms.append((record, self._clock()))
+            return
         self.collector.ingest_communicator(record, now=self._clock())
 
     def on_op_launch(self, record: OpLaunchRecord) -> None:

@@ -71,6 +71,7 @@ class CentralCollector:
         self,
         op_window: int = 4096,
         message_window: int = 16384,
+        tombstone_capacity: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.progress: dict[str, CommProgress] = {}
@@ -79,10 +80,14 @@ class CentralCollector:
         self._messages: dict[str, Deque[MessageRecord]] = {}
         self._op_window = op_window
         self._message_window = message_window
+        self._tombstone_capacity = tombstone_capacity
         #: Communicators explicitly deregistered; late records for them
         #: (e.g. still in flight on a lossy channel) are discarded
-        #: silently instead of raising.
-        self._dropped: set[str] = set()
+        #: silently instead of raising.  Insertion-ordered and bounded:
+        #: once full the oldest tombstone is evicted (a straggler for an
+        #: ancient incarnation then raises, which is preferable to an
+        #: unbounded set in a long-lived master).
+        self._dropped: dict[str, None] = {}
         registry = get_registry(metrics)
         ingested = registry.counter(
             "telemetry_records_ingested_total",
@@ -105,6 +110,10 @@ class CentralCollector:
             "telemetry_straggler_records_total",
             "Late records for dropped communicators, silently discarded",
         )
+        self._m_tombstones_evicted = registry.counter(
+            "telemetry_tombstones_evicted_total",
+            "Dropped-communicator tombstones evicted from the bounded FIFO",
+        )
         self._m_comms = registry.gauge(
             "telemetry_registered_communicators",
             "Communicators currently registered with the collector",
@@ -122,7 +131,7 @@ class CentralCollector:
     # ------------------------------------------------------------------
     def ingest_communicator(self, record: CommunicatorRecord, now: float = 0.0) -> None:
         """Register a communicator."""
-        self._dropped.discard(record.comm_id)
+        self._dropped.pop(record.comm_id, None)
         self.progress[record.comm_id] = CommProgress(
             record=record,
             last_seq={rank: -1 for rank in range(record.size)},
@@ -146,7 +155,12 @@ class CentralCollector:
         self._ops.pop(comm_id, None)
         self._launches.pop(comm_id, None)
         self._messages.pop(comm_id, None)
-        self._dropped.add(comm_id)
+        self._dropped.pop(comm_id, None)  # refresh insertion order
+        self._dropped[comm_id] = None
+        while len(self._dropped) > self._tombstone_capacity:
+            oldest = next(iter(self._dropped))
+            del self._dropped[oldest]
+            self._m_tombstones_evicted.inc()
         self._m_comms.set(len(self.progress))
 
     def ingest_launch(self, record: OpLaunchRecord) -> None:
@@ -204,6 +218,80 @@ class CentralCollector:
         """The most recent ``count`` completed sequence numbers."""
         seqs = sorted({r.seq for r in self._ops.get(comm_id, ())})
         return seqs[-count:]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (control-plane journaling)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of all mutable collector state.
+
+        Rank keys in the progress maps become ``[rank, seq]`` pairs so
+        the snapshot survives canonical (sorted-key) JSON encoding.
+        """
+        return {
+            "op_window": self._op_window,
+            "message_window": self._message_window,
+            "tombstone_capacity": self._tombstone_capacity,
+            "progress": {
+                comm_id: {
+                    "record": progress.record.to_payload(),
+                    "last_seq": sorted(progress.last_seq.items()),
+                    "last_launch_seq": sorted(progress.last_launch_seq.items()),
+                    "last_completion_time": progress.last_completion_time,
+                    "last_launch_time": progress.last_launch_time,
+                    "created_at": progress.created_at,
+                }
+                for comm_id, progress in self.progress.items()
+            },
+            "ops": {
+                comm_id: [r.to_payload() for r in window]
+                for comm_id, window in self._ops.items()
+            },
+            "launches": {
+                comm_id: [r.to_payload() for r in window]
+                for comm_id, window in self._launches.items()
+            },
+            "messages": {
+                comm_id: [r.to_payload() for r in window]
+                for comm_id, window in self._messages.items()
+            },
+            "dropped": list(self._dropped),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all mutable state with a :meth:`snapshot_state` dict."""
+        self._op_window = state["op_window"]
+        self._message_window = state["message_window"]
+        self._tombstone_capacity = state["tombstone_capacity"]
+        self.progress = {}
+        self._ops = {}
+        self._launches = {}
+        self._messages = {}
+        for comm_id, entry in state["progress"].items():
+            self.progress[comm_id] = CommProgress(
+                record=CommunicatorRecord.from_payload(entry["record"]),
+                last_seq={rank: seq for rank, seq in entry["last_seq"]},
+                last_launch_seq={rank: seq for rank, seq in entry["last_launch_seq"]},
+                last_completion_time=entry["last_completion_time"],
+                last_launch_time=entry["last_launch_time"],
+                created_at=entry["created_at"],
+            )
+        for comm_id, payloads in state["ops"].items():
+            self._ops[comm_id] = deque(
+                (OpRecord.from_payload(p) for p in payloads), maxlen=self._op_window
+            )
+        for comm_id, payloads in state["launches"].items():
+            self._launches[comm_id] = deque(
+                (OpLaunchRecord.from_payload(p) for p in payloads),
+                maxlen=self._op_window,
+            )
+        for comm_id, payloads in state["messages"].items():
+            self._messages[comm_id] = deque(
+                (MessageRecord.from_payload(p) for p in payloads),
+                maxlen=self._message_window,
+            )
+        self._dropped = {comm_id: None for comm_id in state["dropped"]}
+        self._m_comms.set(len(self.progress))
 
     def _require(self, comm_id: str):
         """Progress for a live communicator, None for a dropped one.

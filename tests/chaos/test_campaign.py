@@ -177,9 +177,9 @@ def test_checkpoint_corruption_falls_back_not_crashes():
 
 def test_campaign_runs_all_scenarios_and_aggregates():
     campaign = ChaosCampaign(seed=0)
-    assert len(campaign.scenarios) == 9
+    assert len(campaign.scenarios) == 13
     card = campaign.run()
-    assert len(card.scenarios) == 9
+    assert len(card.scenarios) == 13
     assert card.precision >= 0.9
     assert card.isolation_storms == 0
     stats = card.mttr_stats()
@@ -208,4 +208,4 @@ def test_scorecard_serializes_to_json_safe_dict():
 
 def test_default_campaign_scenarios_are_seed_offset():
     scenarios = default_campaign(10)
-    assert [s.seed for s in scenarios] == list(range(10, 19))
+    assert [s.seed for s in scenarios] == list(range(10, 23))

@@ -41,12 +41,32 @@ def test_steering_isolates_and_replaces(topo):
     assert action.ready_at == pytest.approx(100.0 + 300.0)
 
 
-def test_steering_idempotent_on_isolated_node(topo):
+def test_steering_dedups_repeated_verdict(topo):
     service = JobSteeringService(topo, backup_nodes=[14])
     service.handle(anomaly(node=3), now=0.0)
-    action = service.handle(anomaly(node=3), now=1.0)
-    assert action.isolated_nodes == ()
+    # Same fault key inside the dedup window: suppressed, not re-executed.
+    assert service.handle(anomaly(node=3), now=1.0) is None
+    assert service.dedup_hits == 1
     assert service.backup_pool == []
+    assert len(service.executed_actions) == 1
+
+
+def test_steering_dedup_window_expires(topo):
+    service = JobSteeringService(topo, backup_nodes=[14, 15], dedup_window=100.0)
+    service.handle(anomaly(node=3), now=0.0)
+    # Outside the window the same fault key may be acted on again; the
+    # node is already isolated so the action is an idempotent no-op.
+    action = service.handle(anomaly(node=3), now=200.0)
+    assert action is not None
+    assert action.isolated_nodes == ()
+
+
+def test_steering_dedup_ignores_epoch(topo):
+    service = JobSteeringService(topo, backup_nodes=[14, 15])
+    service.handle(anomaly(node=3), now=0.0, epoch=0)
+    # A restarted (higher-epoch) master re-deriving the verdict is
+    # still a duplicate — epochs fence stale writers, not dedup.
+    assert service.handle(anomaly(node=3), now=5.0, epoch=3) is None
 
 
 def test_steering_pool_exhaustion(topo):

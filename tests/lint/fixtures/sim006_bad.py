@@ -1,0 +1,19 @@
+# Fixture: SIM006 violations — managed master state written outside the
+# journaled mutation path (linted under a controlplane/ virtual path).
+
+
+class Plane:
+    def __init__(self, collector, master, steering):
+        self.collector = collector
+        self.master = master
+        self.steering = steering
+        self.epoch = 0
+
+    def poke(self):
+        self.master.epoch = 99  # SIM006: ad-hoc write bypasses the journal
+
+    def patch_progress(self, comm_id):
+        self.collector.progress[comm_id].min_seq += 1  # SIM006: subscripted write
+
+    def clobber(self, nodes):
+        self.steering.isolated = list(nodes)  # SIM006: replaces journaled state

@@ -1,0 +1,28 @@
+# Fixture: SIM006-clean — managed state touched only via the journaled
+# mutation path or the allowed construction/replay writers.
+
+
+class Plane:
+    def __init__(self, collector, master, steering, store):
+        self.collector = collector
+        self.master = master
+        self.steering = steering
+        self.store = store
+        self.epoch = 0
+        self.master.epoch = 0  # construction-time wiring is allowed
+
+    def _build(self):
+        self.master.epoch = self.epoch
+
+    def _replay_entry(self, entry):
+        self.master.epoch = entry.epoch
+
+    def recover(self):
+        self.master.tracer = None
+
+    def ingest_op(self, record):
+        self.store.append("op", {"record": record}, self.epoch)
+        self.collector.ingest_op(record)  # a method call, not a raw write
+
+    def rewire(self, collector):
+        self.collector = collector  # handle rebinding is construction

@@ -22,6 +22,7 @@ RULE_FIXTURES = {
     "SIM003": ("sim003_bad.py", 2, "sim003_good.py"),
     "SIM004": ("sim004_bad.py", 3, "sim004_good.py"),
     "SIM005": ("sim005_bad.py", 1, "sim005_good.py"),
+    "SIM006": ("sim006_bad.py", 3, "sim006_good.py"),
     "OBS001": ("obs001_bad.py", 1, "obs001_good.py"),
 }
 
@@ -29,7 +30,10 @@ RULE_FIXTURES = {
 def lint_fixture(name: str):
     source = (FIXTURES / name).read_text()
     # Fixtures live outside the package tree, so force sim-path scoping.
-    return lint_source(source, path=name, sim_path=True)
+    # SIM006 additionally scopes to the controlplane package, so its
+    # fixtures lint under a controlplane/ virtual path.
+    path = f"controlplane/{name}" if name.startswith("sim006") else name
+    return lint_source(source, path=path, sim_path=True)
 
 
 def test_every_rule_has_a_fixture() -> None:
